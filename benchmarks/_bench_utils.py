@@ -1,0 +1,11 @@
+"""Shared helpers for the benchmark suite."""
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under the benchmark clock.
+
+    The interesting number for an experiment driver is "how long does
+    regenerating Figure X take end to end", not a repeated-trial mean.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

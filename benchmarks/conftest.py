@@ -1,0 +1,39 @@
+"""Benchmark configuration and fixtures.
+
+Every benchmark regenerates one of the paper's tables or figures (small
+scale by default -- set ``REPRO_BENCH_SCALE=full`` for the paper-scale
+run) and asserts the artifact's qualitative shape before reporting its
+runtime.
+"""
+
+import os
+
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.module_factory import build_module, spec_by_name
+from repro.experiments.common import ExperimentScale
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Experiment scale for benchmarks (env-overridable)."""
+    return ExperimentScale(os.environ.get("REPRO_BENCH_SCALE", "small"))
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> DramGeometry:
+    """Reduced geometry for the functional ablation benches."""
+    return DramGeometry.small(segments_per_bank=64, cache_blocks_per_row=8)
+
+
+@pytest.fixture(scope="session")
+def module_m13(small_geometry):
+    """Module M13 at small geometry."""
+    return build_module(spec_by_name("M13"), small_geometry)
+
+
+@pytest.fixture(scope="session")
+def entropy_scale(small_geometry) -> float:
+    """Row-width ratio of the small geometry vs full scale."""
+    return small_geometry.row_bits / 65536

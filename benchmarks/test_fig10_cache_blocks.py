@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 10 (within-segment entropy profile)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_cache_blocks(benchmark, bench_scale):
+    result = run_once(benchmark, fig10.run, bench_scale)
+    # Peak around the middle, deterioration towards the high-numbered
+    # cache blocks (the paper's observation).
+    assert result.data["middle_mean"] > result.data["end_mean"]
+    profile = result.data["mean_profile"]
+    assert profile[-1] < profile.max()

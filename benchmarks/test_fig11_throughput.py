@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 11 (configuration throughput)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig11
+
+
+def test_fig11_throughput(benchmark, bench_scale):
+    result = run_once(benchmark, fig11.run, bench_scale)
+    averages = result.data["averages"]
+    # Configuration ordering and rough magnitudes (paper: 0.49 / 0.75 /
+    # 3.44 Gb/s per channel).
+    assert averages["RC + BGP"] > averages["BGP"] > averages["One Bank"]
+    assert 2.0 < averages["RC + BGP"] < 6.5
+    assert 0.25 < averages["One Bank"] < 1.0
+    # RowClone init is the dominant enabler: > 4x over One Bank.
+    assert averages["RC + BGP"] / averages["One Bank"] > 4.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 12 (SPEC2006 idle-window TRNG)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig12
+
+
+def test_fig12_spec_idle(benchmark, bench_scale):
+    result = run_once(benchmark, fig12.run, bench_scale)
+    results = {r.workload: r.trng_throughput_gbps
+               for r in result.data["results"]}
+    average = results.pop("Average")
+    # Paper: 10.2 Gb/s average, 3.22 minimum, 14.3 maximum.
+    assert 6.0 < average < 14.0
+    assert min(results.values()) < 0.5 * average
+    assert max(results.values()) > average
+    # Memory-intensive workloads land at the bottom.
+    ranked = sorted(results, key=results.get)
+    assert set(ranked[:4]) & {"mcf", "omnetpp", "soplex", "xalancbmk",
+                              "lbm"}

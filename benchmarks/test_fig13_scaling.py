@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 13 (bandwidth scaling)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig13
+
+
+def test_fig13_scaling(benchmark, bench_scale):
+    result = run_once(benchmark, fig13.run, bench_scale)
+    series = result.data["series"]
+    # QUAC-TRNG leads everywhere (no crossover in the sweep).
+    for index in range(len(series["QUAC-TRNG"])):
+        others = [series[name][index] for name in series
+                  if name != "QUAC-TRNG"]
+        assert series["QUAC-TRNG"][index] > max(others)
+    # D-RaNGe is latency-bound (flat); QUAC and Talukder+ scale.
+    assert series["D-RaNGe-Enhanced"][-1] / \
+        series["D-RaNGe-Enhanced"][0] < 1.2
+    assert series["QUAC-TRNG"][-1] / series["QUAC-TRNG"][0] > 2.0
+    assert series["Talukder+-Enhanced"][-1] / \
+        series["Talukder+-Enhanced"][0] > 2.5
+    # The 12 GT/s gap over the best prior work: ~2x (paper: 2.03x).
+    ratio = series["QUAC-TRNG"][-1] / series["Talukder+-Enhanced"][-1]
+    assert 1.4 < ratio < 2.8

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 14 (temperature sensitivity)."""
+
+import numpy as np
+from _bench_utils import run_once
+
+from repro.experiments import fig14
+
+
+def test_fig14_temperature(benchmark, bench_scale):
+    result = run_once(benchmark, fig14.run, bench_scale)
+    samples = result.data["samples"]
+    # Trend-1 entropy rises with temperature; trend-2 falls (paper's
+    # two populations, 24 vs 16 of 40 chips).
+    t1 = np.mean(samples[(1, 85.0)]) / np.mean(samples[(1, 50.0)])
+    t2 = np.mean(samples[(2, 85.0)]) / np.mean(samples[(2, 50.0)])
+    assert t1 > 1.05
+    assert t2 < 0.75
+    counts = result.data["trend_counts"]
+    assert counts[1] > counts[2] > 0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 9 (spatial entropy distribution)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import fig9
+
+
+def test_fig9_spatial(benchmark, bench_scale):
+    result = run_once(benchmark, fig9.run, bench_scale)
+    mean_curve = result.data["mean_curve"]
+    n = mean_curve.size
+    # Wave-like modulation across the bank.
+    assert result.data["peaks"] >= 3
+    # Rise towards the end of the bank, then a final drop.
+    body = mean_curve[: int(0.90 * n)].mean()
+    rise = mean_curve[int(0.92 * n): int(0.985 * n)].mean()
+    assert rise > body

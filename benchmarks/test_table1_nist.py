@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Table 1 (NIST STS on VNC / SHA-256 streams)."""
+
+from _bench_utils import run_once
+
+from repro.experiments import table1
+
+
+def test_table1_nist(benchmark, bench_scale):
+    result = run_once(benchmark, table1.run, bench_scale)
+    # Section 7.1: the SHA-256 stream passes the suite.
+    assert result.data["pass_rate"] >= result.data["band"] or \
+        result.data["pass_rate"] == 1.0
+    assert len(result.rows) == 15
+    # Every executed test passed on both stream types.
+    assert all(row[3] == "yes" for row in result.rows)

@@ -1,0 +1,18 @@
+"""Benchmark: regenerate Table 3 (module population entropies)."""
+
+import math
+
+from _bench_utils import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_population(benchmark, bench_scale):
+    result = run_once(benchmark, table3.run, bench_scale)
+    # Every module's average segment entropy tracks its Table 3 value.
+    for row in result.rows:
+        measured, paper = row[2], row[5]
+        assert abs(measured - paper) / paper < 0.15
+    # 30-day drift stays within the paper's few-percent band.
+    assert all(not math.isnan(d) and d < 0.10
+               for d in result.data["drifts"])

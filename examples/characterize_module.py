@@ -1,0 +1,78 @@
+"""Operator workflow: one-time offline module characterization.
+
+Walks the paper's Section 6 / Section 8 procedure for a new module:
+
+1. sweep all 16 data patterns and rank them (Figure 8);
+2. map segment entropy across the bank and pick the best segment
+   (Figure 9);
+3. plan the SHA-input-block column ranges (Section 5.2);
+4. repeat at three temperatures under the PID rig and build the
+   temperature-indexed plan table the memory controller stores
+   (Section 8).
+
+Run:  python examples/characterize_module.py
+"""
+
+from repro.entropy.blocks import plan_entropy_blocks
+from repro.entropy.characterization import ModuleCharacterization
+from repro.dram.geometry import DramGeometry
+from repro.dram.module_factory import build_module, spec_by_name
+from repro.softmc.temperature_controller import TemperatureController
+
+
+def main() -> None:
+    geometry = DramGeometry.small(segments_per_bank=128,
+                                  cache_blocks_per_row=16)
+    entropy_budget = 256.0 * geometry.row_bits / 65536
+    module = build_module(spec_by_name("M1"), geometry)
+    print(f"characterizing {module.name} "
+          f"(DDR4-{module.timing.transfer_rate_mts})\n")
+
+    # 1. Data-pattern sweep.
+    chars = ModuleCharacterization(module)
+    sweeps = chars.sweep_patterns()
+    sweeps.sort(key=lambda s: s.average_segment_entropy, reverse=True)
+    print("pattern sweep (top 5 by average segment entropy):")
+    for sweep in sweeps[:5]:
+        print(f"  {sweep.pattern}: avg {sweep.average_segment_entropy:7.1f} "
+              f"bits, best segment {sweep.best_segment}")
+    best_pattern = sweeps[0].pattern
+
+    # 2. Spatial map and best segment.
+    entropies = chars.segment_entropies(best_pattern)
+    best_segment = chars.best_segment(best_pattern)
+    print(f"\nsegment entropy: mean {entropies.mean():.1f}, "
+          f"max {entropies.max():.1f} at segment {best_segment}")
+
+    # 3. SIB plan at the reference temperature.
+    blocks = chars.cache_block_entropy_matrix(best_pattern)[best_segment]
+    plans = plan_entropy_blocks(blocks, entropy_budget)
+    print(f"\nSHA input blocks at 50 C ({len(plans)} per iteration):")
+    for index, plan in enumerate(plans):
+        print(f"  SIB {index}: cache blocks [{plan.start}, {plan.stop}) "
+              f"carrying {plan.entropy_bits:.0f} entropy bits")
+
+    # 4. Temperature-indexed plan table.
+    controller = TemperatureController(module)
+    table = []
+    for low, high, target in ((45.0, 57.5, 50.0), (57.5, 75.0, 65.0),
+                              (75.0, 90.0, 85.0)):
+        controller.set_target(target)
+        controller.settle()
+        hot_chars = ModuleCharacterization(module)
+        hot_blocks = hot_chars.cache_block_entropy_matrix(
+            best_pattern)[hot_chars.best_segment(best_pattern)]
+        hot_plans = plan_entropy_blocks(hot_blocks, entropy_budget)
+        table.append((low, high, hot_plans))
+        print(f"\nat {module.temperature_c:.1f} C "
+              f"(range [{low}, {high})): {len(hot_plans)} SIBs, best "
+              f"segment {hot_chars.best_segment(best_pattern)}")
+
+    stored_entries = sum(len(plans) for _, _, plans in table)
+    print(f"\ncontroller table: {len(table)} temperature ranges, "
+          f"{stored_entries} column-address entries "
+          f"(the paper stores up to 10 ranges x 11 entries)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Prior DRAM-based TRNGs the paper compares against (Section 7.4, Table 2).
+
+Each baseline implements :class:`~repro.baselines.base.TrngBaseline`:
+a throughput model derived from tightly-scheduled DDR4 command sequences
+(the high-throughput mechanisms) or from the paper's published operating
+points (the low-throughput ones), plus -- where the mechanism runs on the
+shared DRAM model -- a functional bitstream path.
+
+* :mod:`repro.baselines.drange` -- D-RaNGe (Kim et al., HPCA 2019):
+  reduced-tRCD activation failures; basic and SHA-enhanced.
+* :mod:`repro.baselines.talukder` -- Talukder+ (ICCE 2019): reduced-tRP
+  precharge failures; basic and SHA-enhanced.
+* :mod:`repro.baselines.dpuf` -- D-PUF (Sutar et al., CASES 2016):
+  retention failures, 4 MiB regions, 40 s pauses.
+* :mod:`repro.baselines.keller` -- Keller+ (ISCAS 2014): retention
+  failures, 1 MiB regions, 320 s pauses.
+* :mod:`repro.baselines.drng_startup` -- DRNG (Eckert et al., MWSCAS
+  2017): DRAM start-up values, gated by the power-up sequence.
+* :mod:`repro.baselines.pyo` -- Pyo+ (IET 2009): command-schedule
+  jitter harvested by the CPU.
+"""
+
+from repro.baselines.base import TrngBaseline, BaselineReport
+from repro.baselines.drange import DRange, DRangeMode
+from repro.baselines.talukder import Talukder, TalukderMode
+from repro.baselines.dpuf import DPuf
+from repro.baselines.keller import KellerTrng
+from repro.baselines.drng_startup import StartupDrng
+from repro.baselines.pyo import PyoTrng
+
+__all__ = [
+    "TrngBaseline",
+    "BaselineReport",
+    "DRange",
+    "DRangeMode",
+    "Talukder",
+    "TalukderMode",
+    "DPuf",
+    "KellerTrng",
+    "StartupDrng",
+    "PyoTrng",
+]

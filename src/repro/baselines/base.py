@@ -1,0 +1,74 @@
+"""Common interface of the baseline TRNG models."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.throughput import CHANNELS_IN_REFERENCE_SYSTEM
+from repro.dram.timing import TimingParameters, speed_grade
+
+
+@dataclass(frozen=True)
+class BaselineReport:
+    """One Table 2 row."""
+
+    name: str
+    entropy_source: str
+    throughput_gbps_system: float
+    latency_256_ns: float
+
+    def as_row(self) -> str:
+        """Render in the Table 2 format."""
+        if self.throughput_gbps_system >= 0.1:
+            throughput = f"{self.throughput_gbps_system:.2f} Gb/s"
+        else:
+            throughput = f"{self.throughput_gbps_system * 1e3:.3f} Mb/s"
+        if self.latency_256_ns < 1e4:
+            latency = f"{self.latency_256_ns:.0f} ns"
+        elif self.latency_256_ns < 1e9:
+            latency = f"{self.latency_256_ns / 1e3:.1f} us"
+        else:
+            latency = f"{self.latency_256_ns / 1e9:.0f} s"
+        return (f"{self.name:24s} {self.entropy_source:20s} "
+                f"{throughput:>12s} {latency:>10s}")
+
+
+class TrngBaseline(abc.ABC):
+    """A prior DRAM-based TRNG, modelled per the paper's methodology.
+
+    Per-channel quantities are the primitives; Table 2 reports the
+    4-channel reference system, handled by :meth:`report`.
+    """
+
+    #: Display name (Table 2 spelling).
+    name: str = "abstract"
+    #: Entropy-source label (Table 2 column).
+    entropy_source: str = ""
+
+    @abc.abstractmethod
+    def throughput_gbps_per_channel(self, timing: TimingParameters) -> float:
+        """Sustained per-channel throughput at a speed grade."""
+
+    @abc.abstractmethod
+    def latency_256_ns(self, timing: TimingParameters) -> float:
+        """Minimum latency to the first 256-bit random number."""
+
+    def throughput_gbps_system(self, timing: TimingParameters,
+                               channels: int = CHANNELS_IN_REFERENCE_SYSTEM
+                               ) -> float:
+        """Reference-system throughput (4 channels by default)."""
+        return channels * self.throughput_gbps_per_channel(timing)
+
+    def report(self, timing: TimingParameters) -> BaselineReport:
+        """The mechanism's Table 2 row at a speed grade."""
+        return BaselineReport(
+            name=self.name,
+            entropy_source=self.entropy_source,
+            throughput_gbps_system=self.throughput_gbps_system(timing),
+            latency_256_ns=self.latency_256_ns(timing),
+        )
+
+    def scaling_curve(self, rates_mts) -> list:
+        """System throughput across transfer rates (the Figure 13 series)."""
+        return [self.throughput_gbps_system(speed_grade(r)) for r in rates_mts]

@@ -1,0 +1,64 @@
+"""D-PUF (Sutar et al., CASES 2016): retention-failure TRNG.
+
+D-PUF partitions DRAM into 4 MiB regions, pauses refresh for 40 seconds
+to accumulate retention failures, and hashes each region into a 256-bit
+number.  Throughput is gated by the pause: even devoting *all* of a
+128 GiB four-channel system to harvesting yields only ~0.2 Mb/s
+(Section 10.1).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import TrngBaseline
+from repro.dram.retention import RetentionModel
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.units import BITS_PER_BYTE, BYTES_PER_GIB, BYTES_PER_MIB, NS_PER_S
+
+#: The mechanism's published operating point.
+REGION_BYTES = 4 * BYTES_PER_MIB
+PAUSE_S = 40.0
+BITS_PER_REGION = 256
+
+
+class DPuf(TrngBaseline):
+    """The D-PUF throughput/latency model."""
+
+    name = "D-PUF"
+    entropy_source = "Retention Failure"
+
+    def __init__(self, system_dram_gib: int = 128,
+                 dram_fraction: float = 1.0,
+                 retention: RetentionModel = RetentionModel()) -> None:
+        if not 0 < dram_fraction <= 1:
+            raise ConfigurationError("dram_fraction must be in (0, 1]")
+        self.system_dram_gib = system_dram_gib
+        self.dram_fraction = dram_fraction
+        self.retention = retention
+
+    def regions(self) -> int:
+        """Concurrently harvestable 4 MiB regions."""
+        total = self.system_dram_gib * BYTES_PER_GIB // REGION_BYTES
+        return int(total * self.dram_fraction)
+
+    def entropy_is_sufficient(self) -> bool:
+        """Does 40 s really accumulate >= 256 entropy bits per region?
+
+        Sanity-checks the published operating point against the shared
+        retention model.
+        """
+        bits = self.retention.expected_entropy_bits(
+            REGION_BYTES * BITS_PER_BYTE, PAUSE_S)
+        return bits >= BITS_PER_REGION
+
+    def throughput_gbps_per_channel(self, timing: TimingParameters) -> float:
+        # Retention harvesting is refresh-gated, not bus-gated: the
+        # speed grade is irrelevant.  Quantities are system-wide; report
+        # a per-channel quarter for interface consistency.
+        del timing
+        system_bps = self.regions() * BITS_PER_REGION / PAUSE_S
+        return system_bps / 1e9 / 4.0
+
+    def latency_256_ns(self, timing: TimingParameters) -> float:
+        del timing
+        return PAUSE_S * NS_PER_S

@@ -1,0 +1,46 @@
+"""DRNG (Eckert et al., MWSCAS 2017): DRAM start-up values.
+
+Cells power up into partially-random states; harvesting them requires a
+full DRAM power cycle, so the mechanism cannot stream.  Table 2 lists
+its throughput as N/A and its latency as the DDR4 power-up
+initialization time (700 us).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import TrngBaseline
+from repro.dram.failures import StartupValueModel
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import TimingParameters
+
+
+class StartupDrng(TrngBaseline):
+    """The start-up-value TRNG model."""
+
+    name = "DRNG"
+    entropy_source = "DRAM Start-up"
+
+    def __init__(self, geometry: DramGeometry = DramGeometry.full_scale(),
+                 seed: int = 0) -> None:
+        self.model = StartupValueModel(geometry, seed)
+
+    @property
+    def streaming(self) -> bool:
+        """Start-up TRNGs cannot produce a continuous stream."""
+        return False
+
+    def throughput_gbps_per_channel(self, timing: TimingParameters) -> float:
+        """Not applicable: one harvest per power cycle.
+
+        Reported as 0.0; Table 2 renders it as N/A.
+        """
+        del timing
+        return 0.0
+
+    def latency_256_ns(self, timing: TimingParameters) -> float:
+        del timing
+        return self.model.power_cycle_latency_ns
+
+    def bits_per_power_cycle(self, rows_harvested: int = 64) -> float:
+        """Entropy available from one power cycle's harvest."""
+        return rows_harvested * self.model.row_entropy()

@@ -1,0 +1,42 @@
+"""Pyo+ (IET 2009): DRAM command-schedule jitter as an entropy source.
+
+The CPU times memory accesses and harvests scheduling nondeterminism:
+45,000 CPU cycles per 8-bit random number.  On the reference 3.2 GHz
+core that is 14.06 us per byte per channel -- the slowest streaming
+mechanism in Table 2 (2.17 Mb/s peak on four channels).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import TrngBaseline
+from repro.core.throughput import CHANNELS_IN_REFERENCE_SYSTEM
+from repro.dram.timing import TimingParameters
+from repro.units import NS_PER_S
+
+#: The mechanism's published cost: CPU cycles per 8-bit random number.
+CYCLES_PER_BYTE = 45000
+
+#: Reference core clock (Section 7.3's simulated system).
+CORE_CLOCK_HZ = 3.2e9
+
+
+class PyoTrng(TrngBaseline):
+    """The Pyo+ throughput/latency model."""
+
+    name = "Pyo+"
+    entropy_source = "DRAM Cmd Schedule"
+
+    def seconds_per_byte(self) -> float:
+        """Time to harvest one 8-bit number on one channel."""
+        return CYCLES_PER_BYTE / CORE_CLOCK_HZ
+
+    def throughput_gbps_per_channel(self, timing: TimingParameters) -> float:
+        del timing
+        return 8.0 / self.seconds_per_byte() / 1e9
+
+    def latency_256_ns(self, timing: TimingParameters) -> float:
+        """32 bytes harvested across the reference system's channels."""
+        del timing
+        bytes_needed = 256 // 8
+        serial = bytes_needed * self.seconds_per_byte()
+        return serial / CHANNELS_IN_REFERENCE_SYSTEM * NS_PER_S

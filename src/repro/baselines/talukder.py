@@ -1,0 +1,137 @@
+"""Talukder+ (ICCE 2019): reduced-tRP precharge failures.
+
+The mechanism activates a row before its bitlines finish precharging to
+VDD/2; a thin fraction of cells across the whole row resolves randomly.
+Unlike D-RaNGe, entropy comes from full rows, so the mechanism is
+bandwidth-bound and scales with transfer rate -- the paper's strongest
+baseline (Figures 13's 2.03x gap at 12 GT/s is against this one).
+
+Configurations (Section 7.4.2):
+
+* **basic** -- the authors' reported 130.6 random cells per row; three
+  row reads per 256-bit number;
+* **enhanced** -- the paper's re-characterization: 1023.64 bits of
+  average maximum row entropy, i.e. 3 SHA input blocks per row read.
+
+Command-sequence model, per the paper's augmentation: rows initialize
+via in-DRAM copy, the violated PRE -> ACT induces the failures, the full
+row is read, four banks in four bank groups run staggered.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.baselines.base import TrngBaseline
+from repro.controller.scheduler import CommandScheduler
+from repro.crypto.conditioner import SHA256_HW_LATENCY_NS
+from repro.dram.commands import CommandKind
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import QUAC_VIOLATION_DELAY_NS, TimingParameters
+from repro.units import bits_per_ns_to_gbps
+
+#: Basic configuration: random cells per row (the authors' average).
+BASIC_CELLS_PER_ROW = 130.6
+
+#: Enhanced configuration: average maximum row entropy (Section 7.4.2).
+ENHANCED_ROW_ENTROPY = 1023.64
+
+#: SHA input blocks per row in the enhanced configuration.
+ENHANCED_SIBS_PER_ROW = int(ENHANCED_ROW_ENTROPY // 256)
+
+#: Rows read per 256-bit number in the basic configuration (the paper: 3).
+BASIC_ROWS_PER_NUMBER = 3
+
+#: Banks driven concurrently (one per bank group).
+PARALLEL_BANKS = 4
+
+
+class TalukderMode(enum.Enum):
+    """Basic (as proposed) vs enhanced (throughput-optimized)."""
+
+    BASIC = "basic"
+    ENHANCED = "enhanced"
+
+
+class Talukder(TrngBaseline):
+    """The Talukder+ throughput/latency model."""
+
+    entropy_source = "Precharge Failure"
+
+    def __init__(self, mode: TalukderMode = TalukderMode.ENHANCED,
+                 geometry: DramGeometry = DramGeometry.full_scale()) -> None:
+        self.mode = mode
+        self.geometry = geometry
+        self.name = f"Talukder+-{mode.value.capitalize()}"
+
+    # ------------------------------------------------------------------
+    # Command-sequence primitives
+    # ------------------------------------------------------------------
+
+    def _schedule_round(self, timing: TimingParameters,
+                        read_blocks: int = None,
+                        n_banks: int = PARALLEL_BANKS) -> float:
+        """One staggered round: copy-init, violated PRE-ACT, read-out.
+
+        Returns the round's makespan.  ``read_blocks`` limits the
+        per-bank read-out and ``n_banks`` the stagger width; the latency
+        calculation uses one bank and a partial read-out, the sustained
+        throughput all four banks and full rows.
+        """
+        n_blocks = read_blocks or self.geometry.cache_blocks_per_row
+        scheduler = CommandScheduler(timing)
+        banks = [(group, 0) for group in range(n_banks)]
+        copy_pre = {"tRAS": timing.tRCD, "tWR": None}
+        # In-DRAM copy initialization (one copy refreshes the harvest row).
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.ACT, bank_group, bank, row=4)
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.PRE, bank_group, bank,
+                               overrides=copy_pre)
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.ACT, bank_group, bank, row=0,
+                               overrides={"tRP": QUAC_VIOLATION_DELAY_NS,
+                                          "tRC": None})
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.PRE, bank_group, bank)
+        # The failure-inducing activation: PRE above, then ACT before the
+        # bitlines settle (violated tRP).
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.ACT, bank_group, bank, row=0,
+                               overrides={"tRP": QUAC_VIOLATION_DELAY_NS,
+                                          "tRC": None})
+        for column in range(n_blocks):
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.RD, bank_group, bank,
+                                   column=column)
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.PRE, bank_group, bank)
+        return scheduler.makespan_ns()
+
+    # ------------------------------------------------------------------
+    # TrngBaseline interface
+    # ------------------------------------------------------------------
+
+    def bits_per_round(self) -> float:
+        """Conditioned output bits of one 4-bank round."""
+        if self.mode is TalukderMode.BASIC:
+            return PARALLEL_BANKS * 256.0 / BASIC_ROWS_PER_NUMBER
+        return PARALLEL_BANKS * ENHANCED_SIBS_PER_ROW * 256.0
+
+    def throughput_gbps_per_channel(self, timing: TimingParameters) -> float:
+        round_ns = self._schedule_round(timing)
+        return bits_per_ns_to_gbps(self.bits_per_round(), round_ns)
+
+    def latency_256_ns(self, timing: TimingParameters) -> float:
+        if self.mode is TalukderMode.ENHANCED:
+            # First SIB: a third of one bank's row, plus SHA.
+            blocks = max(1, self.geometry.cache_blocks_per_row //
+                         ENHANCED_SIBS_PER_ROW)
+            return (self._schedule_round(timing, read_blocks=blocks,
+                                         n_banks=1) + SHA256_HW_LATENCY_NS)
+        # Basic: harvest three rows' random cells (one row per bank,
+        # three banks staggered), reading only the cache blocks that
+        # hold them (~1/3 of each row), plus SHA.
+        blocks = max(1, self.geometry.cache_blocks_per_row // 9)
+        return (self._schedule_round(timing, read_blocks=blocks,
+                                     n_banks=3) + SHA256_HW_LATENCY_NS)

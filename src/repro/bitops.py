@@ -1,0 +1,87 @@
+"""Bit-array utilities shared across the library.
+
+The convention everywhere is: a *bitstream* is a 1-D ``numpy.uint8`` array
+with values in {0, 1}, most-significant-bit-first when packed to bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import BitstreamError
+
+
+def ensure_bits(bits: np.ndarray) -> np.ndarray:
+    """Validate and normalize a bitstream to 1-D uint8 of {0, 1}."""
+    arr = np.asarray(bits)
+    if arr.ndim != 1:
+        raise BitstreamError(f"bitstream must be 1-D, got shape {arr.shape}")
+    if arr.size and not np.isin(arr, (0, 1)).all():
+        raise BitstreamError("bitstream values must be 0 or 1")
+    return arr.astype(np.uint8, copy=False)
+
+
+def pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a bitstream into bytes (MSB first, zero-padded at the end)."""
+    arr = ensure_bits(bits)
+    return np.packbits(arr).tobytes()
+
+
+def unpack_bits(data: bytes, n_bits: int = None) -> np.ndarray:
+    """Unpack bytes into a bitstream (MSB first).
+
+    ``n_bits`` truncates the tail padding; defaults to ``8 * len(data)``.
+    """
+    arr = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+    if n_bits is not None:
+        if n_bits > arr.size:
+            raise BitstreamError(
+                f"requested {n_bits} bits from {arr.size}-bit buffer")
+        arr = arr[:n_bits]
+    return arr.astype(np.uint8)
+
+
+def bits_to_int(bits: np.ndarray) -> int:
+    """Interpret a bitstream as a big-endian unsigned integer."""
+    arr = ensure_bits(bits)
+    value = 0
+    for bit in arr.tolist():
+        value = (value << 1) | bit
+    return value
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """Big-endian ``width``-bit representation of a non-negative int."""
+    if value < 0:
+        raise BitstreamError("value must be non-negative")
+    if value >> width:
+        raise BitstreamError(f"value {value} does not fit in {width} bits")
+    return np.array([(value >> (width - 1 - i)) & 1 for i in range(width)],
+                    dtype=np.uint8)
+
+
+def chunks(bits: np.ndarray, size: int,
+           drop_partial: bool = True) -> Iterator[np.ndarray]:
+    """Yield consecutive ``size``-bit chunks of a bitstream.
+
+    The trailing partial chunk is dropped by default (NIST sequences and
+    SHA input blocks both require exact sizes).
+    """
+    arr = ensure_bits(bits)
+    if size <= 0:
+        raise BitstreamError(f"chunk size must be positive, got {size}")
+    full = arr.size // size
+    for i in range(full):
+        yield arr[i * size: (i + 1) * size]
+    if not drop_partial and arr.size % size:
+        yield arr[full * size:]
+
+
+def bias(bits: np.ndarray) -> float:
+    """Fraction of ones in a bitstream (0.5 = unbiased)."""
+    arr = ensure_bits(bits)
+    if arr.size == 0:
+        raise BitstreamError("cannot compute the bias of an empty bitstream")
+    return float(arr.mean())

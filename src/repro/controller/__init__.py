@@ -1,0 +1,27 @@
+"""Memory-controller layer: scheduling, in-DRAM copy, buffering.
+
+The paper derives every throughput number by "tightly scheduling the
+sequence of DDR4 commands" each mechanism needs (Sections 7.2, 7.4).
+:class:`~repro.controller.scheduler.CommandScheduler` is the executable
+form of that methodology: callers request commands, the scheduler places
+each at the earliest JEDEC-legal time (or at a forced, violating time for
+the QUAC/RowClone tricks), and the resulting makespan is the mechanism's
+latency.
+"""
+
+from repro.controller.scheduler import CommandScheduler, ScheduledCommand
+from repro.controller.rowclone import (rowclone_copy_program,
+                                       rowclone_segment_init_program,
+                                       ROWCLONE_COPIES_PER_SEGMENT)
+from repro.controller.buffer import RandomNumberBuffer
+from repro.controller.memory_controller import MemoryController
+
+__all__ = [
+    "CommandScheduler",
+    "ScheduledCommand",
+    "rowclone_copy_program",
+    "rowclone_segment_init_program",
+    "ROWCLONE_COPIES_PER_SEGMENT",
+    "RandomNumberBuffer",
+    "MemoryController",
+]

@@ -1,0 +1,38 @@
+"""QUAC-TRNG: the paper's primary contribution.
+
+* :mod:`repro.core.quac` -- executing QUAC operations against the
+  simulated module (both the SoftMC-faithful and the fast direct path);
+* :mod:`repro.core.trng` -- the end-to-end generator: characterization,
+  segment initialization, QUAC, SIB splitting, SHA-256 conditioning;
+* :mod:`repro.core.throughput` -- iteration latency and throughput from
+  tightly-scheduled command sequences (Sections 7.2 / 7.4 / Figure 13);
+* :mod:`repro.core.overheads` -- memory / storage / area accounting
+  (Section 9).
+"""
+
+from repro.core.quac import QuacExecutor
+from repro.core.throughput import (QuacThroughputModel, IterationBreakdown,
+                                   TrngConfiguration,
+                                   CHANNELS_IN_REFERENCE_SYSTEM)
+from repro.core.trng import QuacTrng
+from repro.core.overheads import OverheadModel
+from repro.core.multichannel import SystemTrng, reference_system
+from repro.core.health import (HealthMonitor, HealthTestFailure,
+                               MonitoredTrng)
+from repro.core.temperature_manager import TemperatureManagedTrng
+
+__all__ = [
+    "QuacExecutor",
+    "QuacTrng",
+    "TrngConfiguration",
+    "QuacThroughputModel",
+    "IterationBreakdown",
+    "CHANNELS_IN_REFERENCE_SYSTEM",
+    "OverheadModel",
+    "SystemTrng",
+    "reference_system",
+    "HealthMonitor",
+    "HealthTestFailure",
+    "MonitoredTrng",
+    "TemperatureManagedTrng",
+]

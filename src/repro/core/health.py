@@ -1,0 +1,204 @@
+"""Online health tests for the deployed TRNG (SP 800-90B Section 4).
+
+A production entropy source must detect, *at runtime*, the failure
+modes a DRAM-based source is exposed to: a segment drifting
+deterministic (temperature excursion beyond the characterized ranges,
+ageing, row repair remapping the TRNG segment), or the conditioning
+path being bypassed.  SP 800-90B mandates two continuous tests on the
+raw source output, both implemented here:
+
+* **Repetition count test (RCT)**: fires when one value repeats long
+  enough that a healthy source would essentially never produce it.
+* **Adaptive proportion test (APT)**: fires when one value dominates a
+  window beyond what the claimed entropy allows.
+
+:class:`HealthMonitor` wires both in front of a bit source and keeps
+failure statistics; :class:`MonitoredTrng` wraps a
+:class:`~repro.core.trng.QuacTrng` so every iteration's *raw* segment
+read-out is health-checked before conditioning, mirroring where the
+tests sit in a real pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.bitops import ensure_bits
+from repro.core.trng import QuacTrng
+from repro.errors import ConfigurationError, ReproError
+
+
+class HealthTestFailure(ReproError):
+    """A continuous health test rejected the raw source output."""
+
+
+def repetition_count_cutoff(min_entropy_per_bit: float,
+                            false_positive_exponent: int = 20) -> int:
+    """SP 800-90B RCT cutoff: C = 1 + ceil(alpha_exp / H).
+
+    With ``false_positive_exponent`` = 20 (alpha = 2^-20), a healthy
+    source trips the test about once per million samples of bad luck.
+    """
+    if min_entropy_per_bit <= 0:
+        raise ConfigurationError("claimed min-entropy must be positive")
+    return 1 + int(np.ceil(false_positive_exponent / min_entropy_per_bit))
+
+
+def adaptive_proportion_cutoff(min_entropy_per_bit: float,
+                               window: int = 512,
+                               false_positive_exponent: int = 20) -> int:
+    """SP 800-90B APT cutoff via the binomial tail.
+
+    The max count of the most likely value in a window of ``window``
+    samples such that P(count >= cutoff) <= 2^-alpha_exp for a source
+    with the claimed entropy.  Computed by scanning the binomial
+    survival function (scipy-free: the window is small).
+    """
+    if not 0 < min_entropy_per_bit <= 1:
+        raise ConfigurationError(
+            "per-bit min-entropy must be in (0, 1] for the binary APT")
+    p = 2.0 ** -min_entropy_per_bit
+    # log-space binomial pmf accumulation from the upper tail.
+    log_p, log_q = np.log(p), np.log(1 - p) if p < 1 else -np.inf
+    from math import lgamma
+
+    def log_pmf(k: int) -> float:
+        return (lgamma(window + 1) - lgamma(k + 1) - lgamma(window - k + 1)
+                + k * log_p + (window - k) * log_q)
+
+    target = -false_positive_exponent * np.log(2.0)
+    tail = -np.inf
+    for k in range(window, -1, -1):
+        tail = np.logaddexp(tail, log_pmf(k))
+        if tail > target:
+            return min(k + 1, window)
+    return window
+
+
+@dataclass
+class HealthMonitor:
+    """Continuous RCT + APT over a raw bit source.
+
+    Parameters
+    ----------
+    claimed_min_entropy:
+        Per-bit min-entropy the source is credited with.  QUAC segments
+        are credited conservatively: most bitlines are deterministic, so
+        per-raw-bit entropy is low -- the default 0.02 matches the
+        paper's ~1800 entropy bits per 64K-bit segment.
+    window:
+        APT window size (SP 800-90B uses 512 for binary sources).
+    """
+
+    claimed_min_entropy: float = 0.02
+    window: int = 512
+    consecutive_failures_to_alarm: int = 2
+
+    #: Lifetime statistics.
+    samples_checked: int = 0
+    rct_failures: int = 0
+    apt_failures: int = 0
+    _consecutive: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        self.rct_cutoff = repetition_count_cutoff(self.claimed_min_entropy)
+        self.apt_cutoff = adaptive_proportion_cutoff(
+            min(self.claimed_min_entropy, 1.0), self.window)
+
+    # ------------------------------------------------------------------
+
+    def check(self, raw_bits: np.ndarray) -> bool:
+        """Run both tests over a raw block; returns True when healthy.
+
+        Raises :class:`HealthTestFailure` after
+        ``consecutive_failures_to_alarm`` consecutive unhealthy blocks
+        (one failure may be bad luck; a streak is a broken source).
+        """
+        arr = ensure_bits(raw_bits)
+        self.samples_checked += int(arr.size)
+        healthy = True
+        if not self._repetition_count_ok(arr):
+            self.rct_failures += 1
+            healthy = False
+        if not self._adaptive_proportion_ok(arr):
+            self.apt_failures += 1
+            healthy = False
+        if healthy:
+            self._consecutive = 0
+            return True
+        self._consecutive += 1
+        if self._consecutive >= self.consecutive_failures_to_alarm:
+            raise HealthTestFailure(
+                f"health tests failed {self._consecutive} consecutive "
+                f"blocks (RCT cutoff {self.rct_cutoff}, APT cutoff "
+                f"{self.apt_cutoff}/{self.window})")
+        return False
+
+    # ------------------------------------------------------------------
+
+    def _repetition_count_ok(self, arr: np.ndarray) -> bool:
+        """Longest run of identical bits must stay under the cutoff.
+
+        With low credited entropy the cutoff is long (e.g. H=0.02 ->
+        C=1001): runs of deterministic bitlines inside one read-out are
+        expected; a kilobit-long constant run is not.
+        """
+        if arr.size == 0:
+            return True
+        changes = np.flatnonzero(np.diff(arr))
+        boundaries = np.concatenate([[-1], changes, [arr.size - 1]])
+        longest = int(np.max(np.diff(boundaries)))
+        return longest < self.rct_cutoff
+
+    def _adaptive_proportion_ok(self, arr: np.ndarray) -> bool:
+        """Per-window dominant-value count must stay under the cutoff."""
+        usable = arr.size - arr.size % self.window
+        if usable == 0:
+            return True
+        windows = arr[:usable].reshape(-1, self.window)
+        ones = windows.sum(axis=1)
+        dominant = np.maximum(ones, self.window - ones)
+        return bool((dominant < self.apt_cutoff).all())
+
+
+class MonitoredTrng:
+    """A QuacTrng whose raw read-outs pass continuous health testing.
+
+    Mirrors the real pipeline layout: health tests observe the *raw*
+    sense-amplifier output, never the conditioned stream (SHA-256 output
+    looks perfect even from a dead source -- exactly the failure the
+    tests exist to catch).
+    """
+
+    def __init__(self, trng: QuacTrng,
+                 monitor: HealthMonitor = None) -> None:
+        self.trng = trng
+        self.monitor = monitor or HealthMonitor()
+
+    def iteration(self) -> Tuple[np.ndarray, float]:
+        """One health-checked iteration: (conditioned bits, latency)."""
+        from repro.entropy.blocks import sha_input_blocks
+
+        digests = []
+        for key in self.trng._banks:
+            segment = self.trng._segments[key]
+            raw = self.trng.executor.run_direct(segment,
+                                                self.trng.data_pattern)
+            self.monitor.check(raw)
+            for block in sha_input_blocks(raw, self.trng._plans[key]):
+                digests.append(self.trng._condition(block))
+        return (np.concatenate(digests),
+                self.trng.iteration_latency_ns)
+
+    def random_bits(self, n_bits: int) -> np.ndarray:
+        """Generate ``n_bits`` with every contributing read-out checked."""
+        parts = []
+        have = 0
+        while have < n_bits:
+            bits, _latency = self.iteration()
+            parts.append(bits)
+            have += bits.size
+        return np.concatenate(parts)[:n_bits]

@@ -1,0 +1,128 @@
+"""Memory, storage and area overheads of QUAC-TRNG (Section 9).
+
+The paper's accounting:
+
+* **Memory**: one segment (4 rows) for QUAC plus 2 reserved
+  initialization rows, in one bank of each of four bank groups:
+  24 rows x 8 KiB = 192 KB, i.e. 0.002% of an 8 GB module.
+* **Storage** in the memory controller: 4 + 8 row addresses, plus 11
+  column addresses per temperature range for up to 10 ranges -- 1316
+  bits total.
+* **Area**: the storage modelled with CACTI at 0.0003 mm^2, plus the
+  SHA-256 core at 0.001 mm^2 -- 0.0014 mm^2 at 7 nm, ~0.04% of a
+  contemporary CPU die.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.crypto.conditioner import SHA256_HW_AREA_MM2
+from repro.dram.geometry import DramGeometry, ROWS_PER_SEGMENT
+from repro.errors import ConfigurationError
+from repro.units import BYTES_PER_GIB
+
+#: CACTI-derived register-file density the paper's 0.0003 mm^2 for 1316
+#: bits implies (7 nm node).
+CACTI_MM2_PER_BIT = 0.0003 / 1316
+
+#: Contemporary 7 nm CPU chiplet area (AMD Zen 2 CCD, the paper's
+#: reference point): ~3.15 mm^2 x ... the paper states the TRNG is 0.04%
+#: of the die; a Zen 2 CCD is ~74 mm^2.
+REFERENCE_CPU_AREA_MM2 = 74.0
+
+#: Reserved rows per driven bank: one segment + two init-source rows.
+RESERVED_ROWS_PER_BANK = ROWS_PER_SEGMENT + 2
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """Overhead accounting for a QUAC-TRNG deployment.
+
+    Parameters
+    ----------
+    geometry:
+        Module geometry (row size and counts).
+    n_banks:
+        Driven banks (4: one per bank group).
+    temperature_ranges:
+        Distinct temperature ranges with stored column-address sets.
+    column_sets_per_range:
+        Column-address sets per range; the paper sizes for 11 (the most
+        SIBs any module's best segment holds).
+    module_capacity_gb:
+        Module capacity used for the percentage figure (paper: 8 GB).
+    """
+
+    geometry: DramGeometry = DramGeometry.full_scale()
+    n_banks: int = 4
+    temperature_ranges: int = 10
+    column_sets_per_range: int = 11
+    module_capacity_gb: int = 8
+
+    def __post_init__(self) -> None:
+        if self.n_banks < 1 or self.temperature_ranges < 1:
+            raise ConfigurationError("counts must be positive")
+
+    # ------------------------------------------------------------------
+    # Memory overhead
+    # ------------------------------------------------------------------
+
+    def reserved_rows(self) -> int:
+        """Total reserved DRAM rows across the driven banks."""
+        return RESERVED_ROWS_PER_BANK * self.n_banks
+
+    def reserved_bytes(self) -> int:
+        """Reserved DRAM capacity in bytes (paper: 192 KB)."""
+        return self.reserved_rows() * self.geometry.row_bytes
+
+    def reserved_fraction(self) -> float:
+        """Reserved capacity as a fraction of the module (paper: 0.002%)."""
+        module_bytes = self.module_capacity_gb * BYTES_PER_GIB
+        return self.reserved_bytes() / module_bytes
+
+    # ------------------------------------------------------------------
+    # Controller storage
+    # ------------------------------------------------------------------
+
+    def row_address_bits(self) -> int:
+        """Bits to name one reserved row (bank group + bank + row)."""
+        return (math.ceil(math.log2(self.geometry.rows_per_bank)) +
+                math.ceil(math.log2(max(self.geometry.banks, 2))))
+
+    def column_address_bits(self) -> int:
+        """Bits to name one cache-block column plus its range length."""
+        per_column = math.ceil(
+            math.log2(max(self.geometry.cache_blocks_per_row, 2)))
+        return 2 * per_column  # start and length of the contiguous range
+
+    def storage_bits(self) -> int:
+        """Total controller storage (paper: 1316 bits).
+
+        4 segment start addresses + 8 init-source addresses (12 row
+        addresses), plus the per-temperature column-address sets.
+        """
+        row_addresses = (self.n_banks +          # segment starts
+                         2 * self.n_banks)       # init sources
+        row_bits = row_addresses * self.row_address_bits()
+        column_bits = (self.temperature_ranges *
+                       self.column_sets_per_range *
+                       self.column_address_bits())
+        return row_bits + column_bits
+
+    # ------------------------------------------------------------------
+    # Area
+    # ------------------------------------------------------------------
+
+    def storage_area_mm2(self) -> float:
+        """CACTI-style area of the controller storage (paper: 0.0003)."""
+        return self.storage_bits() * CACTI_MM2_PER_BIT
+
+    def total_area_mm2(self) -> float:
+        """Storage + SHA-256 core (paper: 0.0014 mm^2 at 7 nm)."""
+        return self.storage_area_mm2() + SHA256_HW_AREA_MM2
+
+    def cpu_area_fraction(self) -> float:
+        """TRNG area relative to a contemporary CPU die (paper: 0.04%)."""
+        return self.total_area_mm2() / REFERENCE_CPU_AREA_MM2

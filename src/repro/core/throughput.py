@@ -1,0 +1,248 @@
+"""Iteration latency and throughput of QUAC-TRNG (Sections 7.2, 7.4).
+
+The paper derives throughput analytically: schedule the DDR4 commands of
+one TRNG iteration as tightly as JEDEC allows, measure the iteration
+latency L, and report ``(256 x SIB) / L`` per bank.  This module builds
+those schedules executably on :class:`CommandScheduler` for the three
+configurations of Figure 11:
+
+* **One Bank** -- write-based initialization, a single bank;
+* **BGP** -- write-based initialization, four banks in four bank groups,
+  command latencies overlapped;
+* **RC + BGP** -- RowClone (in-DRAM copy) initialization plus bank-group
+  parallelism: the paper's headline configuration.
+
+The same machinery projects throughput to faster transfer rates
+(Figure 13) by swapping the timing parameter set.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.controller.rowclone import ROWCLONE_COPIES_PER_SEGMENT
+from repro.controller.scheduler import CommandScheduler
+from repro.crypto.conditioner import SHA256_HW_LATENCY_NS
+from repro.dram.commands import CommandKind
+from repro.dram.geometry import DramGeometry
+from repro.dram.timing import (QUAC_VIOLATION_DELAY_NS, TimingParameters,
+                               speed_grade)
+from repro.errors import ConfigurationError
+from repro.units import bits_per_ns_to_gbps
+
+#: The paper's reference system (Section 7.3): four DDR4 channels.
+CHANNELS_IN_REFERENCE_SYSTEM = 4
+
+#: Output bits per SHA input block.
+BITS_PER_SIB = 256
+
+
+class TrngConfiguration(enum.Enum):
+    """The three Figure 11 configurations."""
+
+    ONE_BANK = "One Bank"
+    BGP = "BGP"
+    RC_BGP = "RC + BGP"
+
+    @property
+    def n_banks(self) -> int:
+        """Banks driven concurrently (one per bank group for BGP)."""
+        return 1 if self is TrngConfiguration.ONE_BANK else 4
+
+    @property
+    def uses_rowclone(self) -> bool:
+        return self is TrngConfiguration.RC_BGP
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """Phase timing of one TRNG iteration (for the ablation benches)."""
+
+    init_ns: float
+    quac_ns: float
+    read_ns: float
+    total_ns: float
+    output_bits: int
+
+    @property
+    def throughput_gbps(self) -> float:
+        """Sustained throughput of back-to-back iterations."""
+        return bits_per_ns_to_gbps(self.output_bits, self.total_ns)
+
+
+class QuacThroughputModel:
+    """Schedules one QUAC-TRNG iteration and reports its timing.
+
+    Parameters
+    ----------
+    timing:
+        Speed grade of the channel.
+    geometry:
+        Module geometry (sets the number of cache blocks read per bank).
+    sib_per_bank:
+        SHA-input-block count of each driven bank's best segment, from
+        characterization.  A scalar is broadcast to all banks.
+    configuration:
+        One of the Figure 11 configurations.
+    """
+
+    #: Violated-timing override sets for the special sequences.
+    _QUAC_PRE = {"tRAS": QUAC_VIOLATION_DELAY_NS, "tWR": None}
+    _QUAC_ACT = {"tRP": QUAC_VIOLATION_DELAY_NS, "tRC": None}
+
+    def __init__(self, timing: TimingParameters, geometry: DramGeometry,
+                 sib_per_bank, configuration: TrngConfiguration =
+                 TrngConfiguration.RC_BGP) -> None:
+        self.timing = timing
+        self.geometry = geometry
+        self.configuration = configuration
+        n = configuration.n_banks
+        if isinstance(sib_per_bank, (int, float)):
+            sibs = [int(sib_per_bank)] * n
+        else:
+            sibs = [int(s) for s in sib_per_bank]
+        if len(sibs) != n:
+            raise ConfigurationError(
+                f"{configuration.value} drives {n} banks; got "
+                f"{len(sibs)} SIB values")
+        if any(s < 1 for s in sibs):
+            raise ConfigurationError(
+                "every driven bank needs at least one SHA input block")
+        self.sib_per_bank = sibs
+
+    # ------------------------------------------------------------------
+    # Public results
+    # ------------------------------------------------------------------
+
+    def iteration(self) -> IterationBreakdown:
+        """Schedule one full iteration; return its phase breakdown."""
+        scheduler = CommandScheduler(self.timing)
+        banks = self._banks()
+        init_end = (self._schedule_rowclone_init(scheduler, banks)
+                    if self.configuration.uses_rowclone
+                    else self._schedule_write_init(scheduler, banks))
+        quac_end = self._schedule_quac(scheduler, banks)
+        self._schedule_readout(scheduler, banks)
+        self._schedule_close(scheduler, banks)
+        total = scheduler.makespan_ns()
+        read_ns = max(total - quac_end, 0.0)
+        return IterationBreakdown(
+            init_ns=init_end,
+            quac_ns=max(quac_end - init_end, 0.0),
+            read_ns=read_ns,
+            total_ns=total,
+            output_bits=BITS_PER_SIB * sum(self.sib_per_bank),
+        )
+
+    def throughput_gbps(self) -> float:
+        """Per-channel sustained throughput (the Figure 11 metric)."""
+        return self.iteration().throughput_gbps
+
+    def latency_256_ns(self, first_sib_cache_blocks: Optional[int] = None
+                       ) -> float:
+        """Latency to the *first* 256-bit random number (Table 2).
+
+        Init + QUAC + the reads covering the first SHA input block +
+        the hardware SHA-256 latency.  ``first_sib_cache_blocks``
+        defaults to an even split of the row across the bank's SIBs.
+        """
+        scheduler = CommandScheduler(self.timing)
+        banks = self._banks()
+        init_end = (self._schedule_rowclone_init(scheduler, banks)
+                    if self.configuration.uses_rowclone
+                    else self._schedule_write_init(scheduler, banks))
+        del init_end
+        self._schedule_quac(scheduler, banks)
+        blocks = first_sib_cache_blocks or max(
+            1, self.geometry.cache_blocks_per_row // self.sib_per_bank[0])
+        bank_group, bank = banks[0]
+        for column in range(blocks):
+            scheduler.schedule(CommandKind.RD, bank_group, bank,
+                               column=column)
+        return scheduler.makespan_ns() + SHA256_HW_LATENCY_NS
+
+    def scaled(self, transfer_rate_mts: int) -> "QuacThroughputModel":
+        """The same model at a projected transfer rate (Figure 13)."""
+        return QuacThroughputModel(speed_grade(transfer_rate_mts),
+                                   self.geometry, self.sib_per_bank,
+                                   self.configuration)
+
+    # ------------------------------------------------------------------
+    # Phase schedulers
+    # ------------------------------------------------------------------
+
+    def _banks(self) -> List[tuple]:
+        """(bank_group, bank) pairs: bank 0 of each driven bank group."""
+        return [(group, 0) for group in range(self.configuration.n_banks)]
+
+    def _schedule_write_init(self, scheduler: CommandScheduler,
+                             banks: Sequence[tuple]) -> float:
+        """Write-based init: ACT + per-cache-block WRs + PRE, per row."""
+        n_blocks = self.geometry.cache_blocks_per_row
+        for row_offset in range(4):
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.ACT, bank_group, bank,
+                                   row=row_offset)
+            for column in range(n_blocks):
+                for bank_group, bank in banks:
+                    scheduler.schedule(CommandKind.WR, bank_group, bank,
+                                       column=column)
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.PRE, bank_group, bank)
+        return scheduler.makespan_ns()
+
+    def _schedule_rowclone_init(self, scheduler: CommandScheduler,
+                                banks: Sequence[tuple]) -> float:
+        """RowClone init: four ACT-PRE-ACT-PRE copies per bank."""
+        copy_pre = {"tRAS": self.timing.tRCD, "tWR": None}
+        for _copy in range(ROWCLONE_COPIES_PER_SEGMENT):
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.ACT, bank_group, bank, row=0,
+                                   overrides={"tRC": None})
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.PRE, bank_group, bank,
+                                   overrides=copy_pre)
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.ACT, bank_group, bank, row=0,
+                                   overrides=self._QUAC_ACT)
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.PRE, bank_group, bank)
+        return scheduler.makespan_ns()
+
+    def _schedule_quac(self, scheduler: CommandScheduler,
+                       banks: Sequence[tuple]) -> float:
+        """The violated ACT-PRE-ACT on each bank's TRNG segment."""
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.ACT, bank_group, bank, row=0)
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.PRE, bank_group, bank,
+                               overrides=self._QUAC_PRE)
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.ACT, bank_group, bank, row=3,
+                               overrides=self._QUAC_ACT)
+        return scheduler.makespan_ns()
+
+    def _schedule_readout(self, scheduler: CommandScheduler,
+                          banks: Sequence[tuple]) -> None:
+        """Read every cache block of each bank, bank-group interleaved."""
+        n_blocks = self.geometry.cache_blocks_per_row
+        for column in range(n_blocks):
+            for bank_group, bank in banks:
+                scheduler.schedule(CommandKind.RD, bank_group, bank,
+                                   column=column)
+
+    def _schedule_close(self, scheduler: CommandScheduler,
+                        banks: Sequence[tuple]) -> None:
+        for bank_group, bank in banks:
+            scheduler.schedule(CommandKind.PRE, bank_group, bank)
+
+
+def system_throughput_gbps(per_channel_gbps: float,
+                           channels: int = CHANNELS_IN_REFERENCE_SYSTEM
+                           ) -> float:
+    """Scale a per-channel rate to the reference 4-channel system."""
+    if channels < 1:
+        raise ConfigurationError("need at least one channel")
+    return per_channel_gbps * channels

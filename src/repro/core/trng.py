@@ -1,0 +1,231 @@
+"""QUAC-TRNG: the end-to-end true random number generator (Section 5.2).
+
+One :class:`QuacTrng` owns one DRAM channel (one module) and follows the
+paper's recipe:
+
+1. **Characterize** (once): find each driven bank's highest-entropy
+   segment for the configured data pattern and plan the column-address
+   sets splitting its read-out into SHA input blocks of 256 entropy bits
+   (per temperature; Section 8).
+2. Per iteration: **initialize** the segment (RowClone copies or
+   write-based, per configuration), **QUAC**, **read** the segment, and
+   **condition** each SIB with SHA-256 into a 256-bit random number.
+
+Two execution paths mirror :class:`~repro.core.quac.QuacExecutor`:
+``faithful=True`` replays every DRAM command through the SoftMC host;
+the default fast path samples the analytic settling distribution and is
+what bulk bitstream generation (the NIST experiments) uses.  Iteration
+*latency* always comes from the scheduled command sequence
+(:class:`~repro.core.throughput.QuacThroughputModel`), never from
+wall-clock simulation time.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.bitops import pack_bits, unpack_bits
+from repro.controller.rowclone import (reserved_rows_for,
+                                       rowclone_segment_init_program,
+                                       check_rowclone_pattern)
+from repro.core.quac import QuacExecutor
+from repro.core.throughput import (IterationBreakdown, QuacThroughputModel,
+                                   TrngConfiguration)
+from repro.crypto.sha256 import Sha256, sha256_bits
+from repro.dram.device import BEST_DATA_PATTERN, DramModule
+from repro.dram.geometry import SegmentAddress
+from repro.entropy.blocks import (EntropyBlockPlan, plan_entropy_blocks,
+                                  sha_input_blocks, sib_count)
+from repro.entropy.characterization import ModuleCharacterization
+from repro.errors import CharacterizationError, InsufficientEntropyError
+from repro.softmc.program import row_initialization_program
+
+
+class QuacTrng:
+    """High-throughput DRAM-based TRNG over one simulated module.
+
+    Parameters
+    ----------
+    module:
+        The DRAM channel's module.
+    configuration:
+        One of the Figure 11 configurations; RC + BGP is the paper's
+        (and this class's) default.
+    data_pattern:
+        Segment initialization pattern; defaults to the paper's best
+        ("0111").
+    entropy_per_block:
+        Shannon entropy per SHA input block (the security parameter).
+    use_builtin_sha:
+        When True, conditioning uses this library's from-scratch SHA-256;
+        the default uses :mod:`hashlib` for bulk speed (bit-identical --
+        the test suite proves it -- just faster).
+    """
+
+    def __init__(self, module: DramModule,
+                 configuration: TrngConfiguration = TrngConfiguration.RC_BGP,
+                 data_pattern: str = BEST_DATA_PATTERN,
+                 entropy_per_block: float = 256.0,
+                 use_builtin_sha: bool = False) -> None:
+        if configuration.uses_rowclone:
+            check_rowclone_pattern(data_pattern)
+        self.module = module
+        self.configuration = configuration
+        self.data_pattern = data_pattern
+        self.entropy_per_block = entropy_per_block
+        self.use_builtin_sha = use_builtin_sha
+        self.executor = QuacExecutor(module)
+        self._banks = [(group, 0) for group in range(configuration.n_banks)]
+        self._characterize()
+        self._breakdown = QuacThroughputModel(
+            module.timing, module.geometry,
+            [self._sib[b] for b in self._banks],
+            configuration).iteration()
+        self._setup_reserved_rows()
+        self._pool = np.zeros(0, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    # Characterization (step 0)
+    # ------------------------------------------------------------------
+
+    def _characterize(self) -> None:
+        self._segments: Dict[Tuple[int, int], SegmentAddress] = {}
+        self._plans: Dict[Tuple[int, int], List[EntropyBlockPlan]] = {}
+        self._sib: Dict[Tuple[int, int], int] = {}
+        geometry = self.module.geometry
+        for bank_group, bank in self._banks:
+            chars = ModuleCharacterization(self.module, bank_group, bank)
+            entropies = chars.segment_entropies(self.data_pattern)
+            # The best segment must leave room for the reserved rows.
+            order = np.argsort(entropies)[::-1]
+            best = next((int(s) for s in order
+                         if s < geometry.segments_per_bank - 1), None)
+            if best is None:
+                raise CharacterizationError("no eligible segment found")
+            blocks = chars.cache_block_entropy_matrix(self.data_pattern)[best]
+            plans = plan_entropy_blocks(blocks, self.entropy_per_block)
+            if not plans:
+                raise InsufficientEntropyError(
+                    f"bank ({bank_group}, {bank}): best segment carries "
+                    f"{blocks.sum():.0f} entropy bits, below one block of "
+                    f"{self.entropy_per_block}")
+            address = geometry.segment_address(bank_group, bank, best)
+            self._segments[(bank_group, bank)] = address
+            self._plans[(bank_group, bank)] = plans
+            self._sib[(bank_group, bank)] = len(plans)
+
+    def _setup_reserved_rows(self) -> None:
+        """Store the init-source values in the reserved rows (once)."""
+        if not self.configuration.uses_rowclone:
+            return
+        geometry = self.module.geometry
+        row0_value, bulk_value = check_rowclone_pattern(self.data_pattern)
+        for key, segment in self._segments.items():
+            fixup_row, bulk_row = reserved_rows_for(segment, geometry)
+            self.module.write_row(
+                segment.bank_group, segment.bank, fixup_row,
+                np.full(geometry.row_bits, int(row0_value), dtype=np.uint8))
+            self.module.write_row(
+                segment.bank_group, segment.bank, bulk_row,
+                np.full(geometry.row_bits, int(bulk_value), dtype=np.uint8))
+
+    # ------------------------------------------------------------------
+    # Public properties
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> List[SegmentAddress]:
+        """The selected highest-entropy segment of each driven bank."""
+        return [self._segments[b] for b in self._banks]
+
+    @property
+    def sib_per_bank(self) -> List[int]:
+        """SHA-input-block count of each driven bank."""
+        return [self._sib[b] for b in self._banks]
+
+    @property
+    def bits_per_iteration(self) -> int:
+        """Conditioned output bits of one iteration (256 x total SIB)."""
+        return self._breakdown.output_bits
+
+    @property
+    def iteration_latency_ns(self) -> float:
+        """Scheduled latency of one iteration (the paper's L)."""
+        return self._breakdown.total_ns
+
+    @property
+    def breakdown(self) -> IterationBreakdown:
+        """Phase-level timing of one iteration."""
+        return self._breakdown
+
+    def throughput_gbps(self) -> float:
+        """Per-channel sustained throughput (Figure 11 metric)."""
+        return self._breakdown.throughput_gbps
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+
+    def iteration(self, faithful: bool = False) -> Tuple[np.ndarray, float]:
+        """One TRNG iteration: (conditioned bits, scheduled latency ns)."""
+        digests: List[np.ndarray] = []
+        for key in self._banks:
+            segment = self._segments[key]
+            readout = (self._faithful_readout(segment) if faithful
+                       else self.executor.run_direct(segment,
+                                                     self.data_pattern))
+            for block in sha_input_blocks(readout, self._plans[key]):
+                digests.append(self._condition(block))
+        return np.concatenate(digests), self._breakdown.total_ns
+
+    def random_bits(self, n_bits: int, faithful: bool = False) -> np.ndarray:
+        """Generate exactly ``n_bits`` conditioned random bits."""
+        if n_bits < 0:
+            raise InsufficientEntropyError("bit count must be non-negative")
+        parts = [self._pool]
+        have = self._pool.size
+        while have < n_bits:
+            bits, _latency = self.iteration(faithful)
+            parts.append(bits)
+            have += bits.size
+        stream = np.concatenate(parts)
+        self._pool = stream[n_bits:]
+        return stream[:n_bits]
+
+    def random_bytes(self, n_bytes: int) -> bytes:
+        """Generate ``n_bytes`` of conditioned random output."""
+        return pack_bits(self.random_bits(8 * n_bytes))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _faithful_readout(self, segment: SegmentAddress) -> np.ndarray:
+        """Init + QUAC + read through the full SoftMC command path."""
+        geometry = self.module.geometry
+        timing = self.module.timing
+        if self.configuration.uses_rowclone:
+            init = rowclone_segment_init_program(geometry, timing, segment,
+                                                 self.data_pattern)
+            self.executor.host.execute(init)
+            from repro.softmc.program import (quac_core_program,
+                                              segment_readout_program)
+            core = quac_core_program(segment, timing)
+            self.executor.host.execute(core)
+            result = self.executor.host.execute(
+                segment_readout_program(geometry, timing, segment))
+            from repro.softmc.instructions import SoftMcProgram
+            close = SoftMcProgram().pre(segment.bank_group, segment.bank,
+                                        delay_ns=timing.tRP)
+            self.executor.host.execute(close)
+            return result.read_data
+        return self.executor.run_via_softmc(segment, self.data_pattern)
+
+    def _condition(self, block: np.ndarray) -> np.ndarray:
+        if self.use_builtin_sha:
+            return sha256_bits(block)
+        digest = hashlib.sha256(pack_bits(block)).digest()
+        return unpack_bits(digest, Sha256.DIGEST_BITS)

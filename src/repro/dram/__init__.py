@@ -1,0 +1,47 @@
+"""Simulated commodity DDR4 DRAM substrate.
+
+This subpackage replaces the 136 real SK Hynix DDR4 chips used by the
+paper with an executable model of the physics the paper relies on:
+
+* :mod:`repro.dram.geometry` -- address arithmetic for channels, bank
+  groups, banks, subarrays, segments, rows, cache blocks and bitlines.
+* :mod:`repro.dram.timing` -- JEDEC DDR4 timing parameters for real and
+  projected speed grades.
+* :mod:`repro.dram.commands` -- command records and traces.
+* :mod:`repro.dram.wordline` -- the hypothetical latch-based row decoder
+  of the paper's Section 4.2, which determines *which* rows a violated
+  ACT-PRE-ACT sequence drives.
+* :mod:`repro.dram.sense_amplifier` -- bitline-deviation -> settling
+  probability model (process-variation offset + thermal noise).
+* :mod:`repro.dram.variation` -- spatial variation fields calibrated to
+  the paper's Figures 8, 9 and 10.
+* :mod:`repro.dram.bank` / :mod:`repro.dram.device` -- stateful banks,
+  chips and modules tying the above together.
+* :mod:`repro.dram.module_factory` -- the 17-module population of Table 3.
+* :mod:`repro.dram.failures` -- competing failure mechanisms used by the
+  baseline TRNGs (tRCD, tRP, retention, startup).
+* :mod:`repro.dram.temperature` -- trend-1 / trend-2 temperature response.
+"""
+
+from repro.dram.geometry import DramGeometry, SegmentAddress, CACHE_BLOCK_BITS
+from repro.dram.timing import TimingParameters, speed_grade, SPEED_GRADES
+from repro.dram.commands import Command, CommandKind, CommandTrace
+from repro.dram.device import DramModule, DramBankState
+from repro.dram.module_factory import build_table3_population, build_module, ModuleSpec
+
+__all__ = [
+    "DramGeometry",
+    "SegmentAddress",
+    "CACHE_BLOCK_BITS",
+    "TimingParameters",
+    "speed_grade",
+    "SPEED_GRADES",
+    "Command",
+    "CommandKind",
+    "CommandTrace",
+    "DramModule",
+    "DramBankState",
+    "build_table3_population",
+    "build_module",
+    "ModuleSpec",
+]

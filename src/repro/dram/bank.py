@@ -1,0 +1,215 @@
+"""Stateful model of a single DRAM bank.
+
+A bank owns its row array (sparse: only rows ever written are stored),
+its row decoder (:class:`repro.dram.wordline.RowDecoder`) and its row
+buffer (the sense amplifiers).  The bank does not decide *probabilities*
+-- the module supplies a physics callback -- but it owns all protocol
+state: which wordlines are open, whether the last activation episode is a
+single-row activation or a multi-row (QUAC) episode, and what the sense
+amplifiers currently hold.
+
+Sensing is resolved lazily: an ACT marks the row buffer stale, and the
+buffer is materialized on the first column access (or at restore time).
+This mirrors the real device, where the sense amplifiers only need to
+have settled by ``tRCD`` after the activation, and lets a QUAC episode --
+two ACTs in quick succession -- be resolved once, with the full set of
+open rows known.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, Optional
+
+import numpy as np
+
+from repro.dram.geometry import DramGeometry, ROWS_PER_SEGMENT
+from repro.dram.timing import TimingParameters
+from repro.dram.wordline import RowDecoder
+from repro.errors import BitstreamError, ProtocolError
+
+#: Signature of the physics callback the module installs: maps
+#: (open cell values (n_open, bits), positions-in-segment, first position,
+#:  segment index, episode counter) to sampled sense-amplifier bits.
+SenseResolver = Callable[[np.ndarray, np.ndarray, int, int, int], np.ndarray]
+
+
+class DramBank:
+    """One bank: row storage, decoder state and the row buffer."""
+
+    def __init__(self, geometry: DramGeometry, timing: TimingParameters,
+                 bank_group: int, bank: int, resolver: SenseResolver) -> None:
+        self._geometry = geometry
+        self._timing = timing
+        self._bank_group = bank_group
+        self._bank = bank
+        self._resolver = resolver
+        self._decoder = RowDecoder(timing)
+        self._rows: Dict[int, np.ndarray] = {}
+        self._row_buffer: Optional[np.ndarray] = None
+        self._buffer_stale = False
+        #: Monotonic count of sensing events; salts the thermal-noise
+        #: stream so repeated QUACs yield fresh randomness.
+        self._sense_counter = 0
+
+    # ------------------------------------------------------------------
+    # Row storage
+    # ------------------------------------------------------------------
+
+    def stored_row(self, row: int) -> np.ndarray:
+        """Cell values of ``row`` (all-zeros if never written)."""
+        self._geometry.check_row(row)
+        if row not in self._rows:
+            self._rows[row] = np.zeros(self._geometry.row_bits, dtype=np.uint8)
+        return self._rows[row]
+
+    def store_row(self, row: int, bits: np.ndarray) -> None:
+        """Overwrite the cells of ``row`` (a test/initialization shortcut;
+        the protocol path is ACT + WR)."""
+        self._geometry.check_row(row)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (self._geometry.row_bits,):
+            raise BitstreamError(
+                f"row data must have shape ({self._geometry.row_bits},), "
+                f"got {bits.shape}")
+        if bits.size and bits.max() > 1:
+            raise BitstreamError("row data must be 0/1 valued")
+        self._rows[row] = bits.copy()
+
+    # ------------------------------------------------------------------
+    # Protocol events (driven by the module)
+    # ------------------------------------------------------------------
+
+    @property
+    def open_rows(self) -> FrozenSet[int]:
+        """Wordlines currently open in this bank."""
+        return self._decoder.open_rows
+
+    def on_activate(self, row: int, time_ns: float) -> FrozenSet[int]:
+        """ACT: update decoder state; decide QUAC-vs-copy semantics.
+
+        A merging ACT (one arriving while the previous episode is still
+        open) behaves in one of two ways:
+
+        * if the previous activation had at least ``tRCD`` to complete
+          sensing, the SAs hold settled, full-rail values -- the new
+          wordlines are simply overwritten from the row buffer.  This is
+          the RowClone/ComputeDRAM in-DRAM copy mechanism the paper uses
+          for fast segment initialization (Section 7.2);
+        * otherwise sensing never completed and the charge of every open
+          row keeps sharing on the bitlines -- the QUAC path, resolved
+          metastably when the buffer is eventually read or restored.
+        """
+        self._geometry.check_row(row)
+        merging = self._decoder.is_open and self._decoder.merges_at(time_ns)
+        if merging and self._buffer_stale:
+            last_act = self._decoder_last_act()
+            if last_act is not None and \
+                    time_ns - last_act >= self._timing.tRCD - 1e-9:
+                # Sensing completed before this ACT: settle the buffer
+                # from the still-single-row episode (copy semantics).
+                self._materialize_buffer()
+        if not merging:
+            self._row_buffer = None
+            self._buffer_stale = True
+        open_rows = self._decoder.on_activate(row, time_ns)
+        if merging and self._row_buffer is not None and not self._buffer_stale:
+            # Copy semantics: newly opened wordlines take the buffer.
+            for row_address in open_rows:
+                self._rows[row_address] = self._row_buffer.copy()
+        else:
+            self._buffer_stale = True
+        return open_rows
+
+    def on_precharge(self, time_ns: float) -> bool:
+        """PRE: restore-and-close if effective, no-op otherwise."""
+        if self._decoder.is_open and self._buffer_stale is False \
+                and self._row_buffer is not None:
+            # The amplified values restore into every open wordline.
+            for row in self._decoder.open_rows:
+                self._rows[row] = self._row_buffer.copy()
+        elif self._decoder.is_open and self._buffer_stale:
+            # The episode ends without any column access; resolve the
+            # sense amplifiers now so restore writes the sampled values.
+            will_close = (time_ns - (self._decoder_last_act() or time_ns)
+                          >= self._timing.tRAS - 1e-9)
+            if will_close:
+                self._materialize_buffer()
+                for row in self._decoder.open_rows:
+                    self._rows[row] = self._row_buffer.copy()
+        effective = self._decoder.on_precharge(time_ns)
+        if effective:
+            self._row_buffer = None
+            self._buffer_stale = False
+        return effective
+
+    def read_column(self, column: int) -> np.ndarray:
+        """RD: return one cache block from the (settled) row buffer."""
+        self._geometry.check_cache_block(column)
+        if not self._decoder.is_open:
+            raise ProtocolError(
+                f"RD on bank ({self._bank_group}, {self._bank}) with no open row")
+        self._materialize_buffer()
+        return self._row_buffer[self._geometry.cache_block_slice(column)].copy()
+
+    def read_row_buffer(self) -> np.ndarray:
+        """Return the full (settled) row buffer -- every sense amplifier."""
+        if not self._decoder.is_open:
+            raise ProtocolError(
+                f"row-buffer read on bank ({self._bank_group}, {self._bank}) "
+                f"with no open row")
+        self._materialize_buffer()
+        return self._row_buffer.copy()
+
+    def write_column(self, column: int, bits: np.ndarray) -> None:
+        """WR: drive one cache block into the SAs and all open wordlines."""
+        self._geometry.check_cache_block(column)
+        if not self._decoder.is_open:
+            raise ProtocolError(
+                f"WR on bank ({self._bank_group}, {self._bank}) with no open row")
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.shape != (512,) and bits.shape != (
+                self._geometry.cache_block_slice(column).stop -
+                self._geometry.cache_block_slice(column).start,):
+            raise BitstreamError(
+                f"cache-block write must carry 512 bits, got {bits.shape}")
+        self._materialize_buffer()
+        block = self._geometry.cache_block_slice(column)
+        self._row_buffer[block] = bits
+        # Open wordlines are conductively attached to the bitlines, so a
+        # write lands in every open row -- the paper verifies QUAC exactly
+        # this way (Section 4, final experiment).
+        for row in self._decoder.open_rows:
+            self.stored_row(row)[block] = bits
+
+    # ------------------------------------------------------------------
+    # Sensing
+    # ------------------------------------------------------------------
+
+    def _materialize_buffer(self) -> None:
+        """Resolve the sense amplifiers for the current episode."""
+        if not self._buffer_stale and self._row_buffer is not None:
+            return
+        open_rows = sorted(self._decoder.open_rows)
+        if not open_rows:
+            raise ProtocolError("cannot sense with no open wordline")
+        if len(open_rows) == 1:
+            # Ordinary activation: deterministic sensing of stored data.
+            self._row_buffer = self.stored_row(open_rows[0]).copy()
+        else:
+            cells = np.stack([self.stored_row(r) for r in open_rows])
+            positions = np.array([r % ROWS_PER_SEGMENT for r in open_rows])
+            first = self._decoder.first_activated_row
+            first_pos = (first % ROWS_PER_SEGMENT) if first is not None else 0
+            segment = open_rows[-1] // ROWS_PER_SEGMENT
+            self._sense_counter += 1
+            sampled = self._resolver(cells, positions, first_pos, segment,
+                                     self._sense_counter)
+            self._row_buffer = np.asarray(sampled, dtype=np.uint8)
+            # Metastable resolution drives the open wordlines too: the
+            # stored data of every open row becomes the sampled values.
+            for row in open_rows:
+                self._rows[row] = self._row_buffer.copy()
+        self._buffer_stale = False
+
+    def _decoder_last_act(self) -> Optional[float]:
+        return self._decoder._state.last_act_ns

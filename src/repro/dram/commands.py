@@ -1,0 +1,172 @@
+"""DRAM command records and command traces.
+
+Commands are immutable records tagged with their issue time in
+nanoseconds.  A :class:`CommandTrace` collects the commands issued to one
+module and can answer the timing questions the rest of the library needs:
+the gap between two commands, the makespan of a sequence, and whether any
+JEDEC constraint was violated (which is what *triggers* QUAC behaviour in
+the device model rather than being an error).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class CommandKind(enum.Enum):
+    """DDR4 command opcodes used by the model."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    REF = "REF"
+    #: Precharge-all: closes every bank; used by initialization sequences.
+    PREA = "PREA"
+
+
+@dataclass(frozen=True)
+class Command:
+    """One DRAM command with its position on the command bus.
+
+    Attributes
+    ----------
+    kind:
+        Opcode.
+    time_ns:
+        Issue time on the command bus, nanoseconds from trace origin.
+    bank_group / bank:
+        Target bank coordinates.  ``PREA``/``REF`` apply to the whole
+        module and carry the default coordinates (0, 0).
+    row:
+        Row address for ``ACT``; ``None`` otherwise.
+    column:
+        Cache-block-aligned column address for ``RD``/``WR``; ``None``
+        otherwise.
+    """
+
+    kind: CommandKind
+    time_ns: float
+    bank_group: int = 0
+    bank: int = 0
+    row: Optional[int] = None
+    column: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time_ns < 0:
+            raise ConfigurationError("command time must be non-negative")
+        if self.kind is CommandKind.ACT and self.row is None:
+            raise ConfigurationError("ACT requires a row address")
+        if self.kind in (CommandKind.RD, CommandKind.WR) and self.column is None:
+            raise ConfigurationError(f"{self.kind.value} requires a column address")
+
+    def same_bank(self, other: "Command") -> bool:
+        """True if both commands target the same (bank group, bank)."""
+        return (self.bank_group, self.bank) == (other.bank_group, other.bank)
+
+
+class CommandTrace:
+    """An append-only, time-ordered sequence of commands.
+
+    The trace enforces monotonically non-decreasing issue times -- the
+    command bus serializes commands -- but deliberately does *not* enforce
+    JEDEC timing: violated timings are the mechanism the paper exploits.
+    Use :meth:`violations` to enumerate them.
+    """
+
+    def __init__(self) -> None:
+        self._commands: List[Command] = []
+
+    def append(self, command: Command) -> None:
+        """Append a command; raises if it travels back in time."""
+        if self._commands and command.time_ns < self._commands[-1].time_ns:
+            raise ConfigurationError(
+                f"command at {command.time_ns} ns precedes previous command "
+                f"at {self._commands[-1].time_ns} ns")
+        self._commands.append(command)
+
+    def extend(self, commands: List[Command]) -> None:
+        """Append several commands in order."""
+        for command in commands:
+            self.append(command)
+
+    def __len__(self) -> int:
+        return len(self._commands)
+
+    def __iter__(self) -> Iterator[Command]:
+        return iter(self._commands)
+
+    def __getitem__(self, index: int) -> Command:
+        return self._commands[index]
+
+    @property
+    def commands(self) -> List[Command]:
+        """A copy of the commands in issue order."""
+        return list(self._commands)
+
+    def makespan_ns(self) -> float:
+        """Time from the first command to the last, in nanoseconds."""
+        if not self._commands:
+            return 0.0
+        return self._commands[-1].time_ns - self._commands[0].time_ns
+
+    def of_kind(self, kind: CommandKind) -> List[Command]:
+        """All commands of one opcode, in issue order."""
+        return [c for c in self._commands if c.kind is kind]
+
+    def violations(self, timing) -> List[str]:
+        """Names of JEDEC constraints violated by this trace.
+
+        Checks the same-bank constraints that matter to the QUAC command
+        sequence: ``tRAS`` (ACT -> PRE), ``tRP`` (PRE -> ACT) and ``tRC``
+        (ACT -> ACT), plus the cross-bank ``tRRD_S``/``tRRD_L`` windows.
+        Returns human-readable violation labels; an empty list means the
+        trace is JEDEC-legal for these constraints.
+
+        Parameters
+        ----------
+        timing:
+            A :class:`repro.dram.timing.TimingParameters` instance.
+        """
+        found: List[str] = []
+        last_act: dict = {}
+        last_pre: dict = {}
+        last_act_any: Optional[Command] = None
+        for cmd in self._commands:
+            key = (cmd.bank_group, cmd.bank)
+            if cmd.kind is CommandKind.ACT:
+                prev_pre = last_pre.get(key)
+                if prev_pre is not None:
+                    gap = cmd.time_ns - prev_pre.time_ns
+                    if gap < timing.tRP - 1e-9:
+                        found.append(
+                            f"tRP violated on bank {key}: {gap:.2f} ns < "
+                            f"{timing.tRP:.2f} ns")
+                if last_act_any is not None and not cmd.same_bank(last_act_any):
+                    gap = cmd.time_ns - last_act_any.time_ns
+                    limit = (timing.tRRD_L
+                             if cmd.bank_group == last_act_any.bank_group
+                             else timing.tRRD_S)
+                    name = ("tRRD_L" if cmd.bank_group == last_act_any.bank_group
+                            else "tRRD_S")
+                    if gap < limit - 1e-9:
+                        found.append(
+                            f"{name} violated: {gap:.2f} ns < {limit:.2f} ns")
+                last_act[key] = cmd
+                last_act_any = cmd
+            elif cmd.kind in (CommandKind.PRE, CommandKind.PREA):
+                keys = [key] if cmd.kind is CommandKind.PRE else list(last_act)
+                for k in keys:
+                    prev_act = last_act.get(k)
+                    if prev_act is not None:
+                        gap = cmd.time_ns - prev_act.time_ns
+                        if gap < timing.tRAS - 1e-9:
+                            found.append(
+                                f"tRAS violated on bank {k}: {gap:.2f} ns < "
+                                f"{timing.tRAS:.2f} ns")
+                    last_pre[k] = cmd
+        return found

@@ -1,0 +1,108 @@
+"""DRAM retention-time model.
+
+Retention-based TRNGs (D-PUF, Keller+) pause refresh and harvest the
+cells that decay.  What matters to their throughput model is the *count*
+of cells that flip within a pause window, and the fraction of those flips
+that are genuinely random (variable-retention-time cells) rather than
+repeatable.
+
+Real retention times are extremely long-tailed: the vast majority of
+cells retain data for minutes to hours (the paper: "many DRAM cells
+retain data for hours"), and only a thin tail decays within tens of
+seconds.  We model the per-cell retention time as lognormal, calibrated
+so that the paper's two operating points hold:
+
+* D-PUF: a 40 s pause over a 4 MiB region accumulates enough entropy for
+  one 256-bit random number;
+* Keller+: a 320 s pause over a 1 MiB region does the same.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.special import ndtr
+
+from repro.errors import ConfigurationError
+
+#: Fraction of retention failures that behave randomly across trials
+#: (variable-retention-time cells); the rest flip repeatably and carry no
+#: entropy.  Literature places VRT at a sizeable minority of weak cells.
+VRT_FRACTION = 0.4
+
+#: Retention failures roughly double per 10 C (standard DRAM scaling).
+TEMPERATURE_DOUBLING_C = 10.0
+
+
+@dataclass(frozen=True)
+class RetentionModel:
+    """Lognormal retention-time distribution of a DRAM population.
+
+    ``median_retention_s`` and ``sigma_log`` are calibrated so that at
+    the 50 C reference a 4 MiB region yields enough flips in 40 s to back
+    one 256-bit number (D-PUF's operating point) while the median cell
+    retains data for ~17 hours ("many DRAM cells retain data for hours").
+    """
+
+    median_retention_s: float = 6.0e4
+    sigma_log: float = 2.0
+    reference_temperature_c: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.median_retention_s <= 0 or self.sigma_log <= 0:
+            raise ConfigurationError("retention parameters must be positive")
+
+    def failure_probability(self, pause_s: float,
+                            temperature_c: float = 50.0) -> float:
+        """Probability that one cell decays within ``pause_s`` seconds."""
+        if pause_s <= 0:
+            return 0.0
+        # Temperature accelerates decay: halve the effective median per
+        # TEMPERATURE_DOUBLING_C above the reference.
+        shift = (temperature_c - self.reference_temperature_c)
+        median = self.median_retention_s * 2.0 ** (-shift /
+                                                   TEMPERATURE_DOUBLING_C)
+        z = (np.log(pause_s) - np.log(median)) / self.sigma_log
+        return float(ndtr(z))
+
+    def expected_failures(self, region_bits: int, pause_s: float,
+                          temperature_c: float = 50.0) -> float:
+        """Expected number of decayed cells in a region after a pause."""
+        if region_bits < 0:
+            raise ConfigurationError("region_bits must be non-negative")
+        return region_bits * self.failure_probability(pause_s, temperature_c)
+
+    def expected_entropy_bits(self, region_bits: int, pause_s: float,
+                              temperature_c: float = 50.0) -> float:
+        """Expected Shannon entropy harvestable from one pause.
+
+        Only VRT cells contribute; each contributes at most one bit and
+        in practice a bit less (their flip probability is not exactly
+        one half) -- we credit 0.8 bits per VRT failure.
+        """
+        failures = self.expected_failures(region_bits, pause_s, temperature_c)
+        return failures * VRT_FRACTION * 0.8
+
+    def pause_for_entropy(self, region_bits: int, target_bits: float,
+                          temperature_c: float = 50.0,
+                          max_pause_s: float = 1e5) -> float:
+        """Shortest pause accumulating ``target_bits`` of entropy.
+
+        Bisection on the monotone pause -> entropy map; raises if even
+        ``max_pause_s`` is insufficient.
+        """
+        if self.expected_entropy_bits(region_bits, max_pause_s,
+                                      temperature_c) < target_bits:
+            raise ConfigurationError(
+                f"region of {region_bits} bits cannot reach {target_bits} "
+                f"entropy bits within {max_pause_s} s")
+        lo, hi = 0.0, max_pause_s
+        for _ in range(80):
+            mid = 0.5 * (lo + hi)
+            if self.expected_entropy_bits(region_bits, mid,
+                                          temperature_c) < target_bits:
+                lo = mid
+            else:
+                hi = mid
+        return hi

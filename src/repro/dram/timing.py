@@ -1,0 +1,167 @@
+"""JEDEC DDR4 timing parameters and speed grades.
+
+Values follow the DDR4 JEDEC standard (JESD79-4) for the speed bins the
+paper's 17 modules use (2133/2400/2666/3200 MT/s), plus *projected* bins
+up to 12000 MT/s used by the bandwidth-scaling study of Figure 13.  For
+the projected bins, bandwidth-related parameters (burst time, tCCD_S)
+scale with the transfer rate while core analog latencies (tRCD, tRAS,
+tRP) stay constant in nanoseconds -- matching how DRAM latency has
+historically (not) scaled and how the paper extrapolates.
+
+All times are in nanoseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+from repro.errors import ConfigurationError
+from repro.units import burst_duration_ns
+
+#: Burst length of a DDR4 cache-block transfer.
+BURST_LENGTH = 8
+
+
+@dataclass(frozen=True)
+class TimingParameters:
+    """One speed grade's worth of DDR4 timing constraints (nanoseconds).
+
+    Attributes mirror the JEDEC names used in the paper's Section 2.1:
+
+    * ``tRCD`` -- ACT to first RD/WR on the same bank.
+    * ``tRAS`` -- ACT to PRE on the same bank (charge restoration).
+    * ``tRP``  -- PRE to next ACT on the same bank (bitline precharge).
+    * ``tRRD_S`` / ``tRRD_L`` -- ACT to ACT, different bank group / same
+      bank group.
+    * ``tCCD_S`` / ``tCCD_L`` -- column command to column command,
+      different / same bank group.
+    * ``tWR`` -- write recovery before PRE.
+    * ``tFAW`` -- rolling four-activate window.
+    * ``tBL`` -- data-bus occupancy of one BL8 burst.
+    * ``tCL`` / ``tCWL`` -- read / write CAS latency.
+    * ``tREFI`` / ``tRFC`` -- refresh interval and refresh cycle time.
+    """
+
+    transfer_rate_mts: int
+    tRCD: float
+    tRAS: float
+    tRP: float
+    tRRD_S: float
+    tRRD_L: float
+    tCCD_S: float
+    tCCD_L: float
+    tWR: float
+    tFAW: float
+    tCL: float
+    tCWL: float
+    tREFI: float = 7800.0
+    tRFC: float = 350.0
+
+    def __post_init__(self) -> None:
+        if self.transfer_rate_mts <= 0:
+            raise ConfigurationError("transfer rate must be positive")
+        for name in ("tRCD", "tRAS", "tRP", "tRRD_S", "tRRD_L",
+                     "tCCD_S", "tCCD_L", "tWR", "tFAW", "tCL", "tCWL"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def tBL(self) -> float:
+        """Data-bus time of one BL8 burst at this transfer rate."""
+        return burst_duration_ns(self.transfer_rate_mts, BURST_LENGTH)
+
+    @property
+    def tRC(self) -> float:
+        """Row cycle time: tRAS + tRP."""
+        return self.tRAS + self.tRP
+
+    @property
+    def clock_ns(self) -> float:
+        """Duration of one DRAM bus clock cycle (two transfers per cycle)."""
+        return 2e3 / self.transfer_rate_mts
+
+    @property
+    def peak_bandwidth_gbps(self) -> float:
+        """Peak data-bus bandwidth of a 64-bit channel in Gb/s."""
+        return self.transfer_rate_mts * 64 / 1e3
+
+    def scaled_to(self, transfer_rate_mts: int) -> "TimingParameters":
+        """Project this grade to another transfer rate (Figure 13).
+
+        Bandwidth-bound parameters (``tCCD_S``) shrink with the bus clock
+        but never below the BL8 burst time; analog-core latencies are kept
+        constant in nanoseconds.
+        """
+        new_burst = burst_duration_ns(transfer_rate_mts, BURST_LENGTH)
+        # tCCD_S is 4 bus clocks in DDR4; keep that relation but never let
+        # back-to-back column commands overlap a single burst.
+        new_tccd_s = max(4 * (2e3 / transfer_rate_mts), new_burst)
+        new_tccd_l = max(self.tCCD_L * self.transfer_rate_mts / transfer_rate_mts,
+                         new_burst)
+        new_trrd_s = max(4 * (2e3 / transfer_rate_mts), 2.0)
+        return replace(
+            self,
+            transfer_rate_mts=transfer_rate_mts,
+            tCCD_S=new_tccd_s,
+            tCCD_L=new_tccd_l,
+            tRRD_S=new_trrd_s,
+        )
+
+
+def _grade(rate: int, tRCD: float, tRAS: float, tRP: float,
+           tRRD_S: float, tRRD_L: float, tCL: float) -> TimingParameters:
+    clock = 2e3 / rate
+    return TimingParameters(
+        transfer_rate_mts=rate,
+        tRCD=tRCD,
+        tRAS=tRAS,
+        tRP=tRP,
+        tRRD_S=tRRD_S,
+        tRRD_L=tRRD_L,
+        tCCD_S=4 * clock,
+        tCCD_L=max(5 * clock, 6.25),
+        tWR=15.0,
+        tFAW=max(20 * clock, 21.0),
+        tCL=tCL,
+        tCWL=tCL - 2 * clock,
+    )
+
+
+#: JEDEC DDR4 speed bins used by the paper's module population, keyed by
+#: transfer rate in MT/s.  tRRD values follow the x8, 1 KB-page column of
+#: JESD79-4 (the paper quotes 3.00 / 4.90 ns for DDR4-2666).
+SPEED_GRADES: Dict[int, TimingParameters] = {
+    2133: _grade(2133, tRCD=14.06, tRAS=33.0, tRP=14.06,
+                 tRRD_S=3.75, tRRD_L=5.63, tCL=14.06),
+    2400: _grade(2400, tRCD=13.32, tRAS=32.0, tRP=13.32,
+                 tRRD_S=3.33, tRRD_L=4.99, tCL=13.32),
+    2666: _grade(2666, tRCD=13.50, tRAS=32.0, tRP=13.50,
+                 tRRD_S=3.00, tRRD_L=4.90, tCL=13.50),
+    3200: _grade(3200, tRCD=13.75, tRAS=32.0, tRP=13.75,
+                 tRRD_S=2.50, tRRD_L=4.90, tCL=13.75),
+}
+
+#: Transfer rates swept by Figure 13 (MT/s).  3600 marks the end of the
+#: standard DDR4 range in the figure.
+FIGURE13_RATES = (2400, 3600, 4800, 7200, 9600, 12000)
+
+
+def speed_grade(transfer_rate_mts: int) -> TimingParameters:
+    """Return timing parameters for a transfer rate.
+
+    Standard bins (2133..3200) come from :data:`SPEED_GRADES`; faster
+    rates are projected from the 2400 MT/s bin via
+    :meth:`TimingParameters.scaled_to`, as in the paper's Figure 13.
+    """
+    if transfer_rate_mts in SPEED_GRADES:
+        return SPEED_GRADES[transfer_rate_mts]
+    if transfer_rate_mts < 2133:
+        raise ConfigurationError(
+            f"transfer rate {transfer_rate_mts} below supported DDR4 range")
+    return SPEED_GRADES[2400].scaled_to(transfer_rate_mts)
+
+
+#: The grossly-violated delay (ns) between the QUAC ACT-PRE-ACT commands.
+#: The paper uses 2.5 ns (Algorithm 1, lines 4 and 6).
+QUAC_VIOLATION_DELAY_NS = 2.5

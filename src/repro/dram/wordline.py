@@ -1,0 +1,218 @@
+"""Hierarchical-wordline row decoder with sticky address latches.
+
+This module implements the paper's *hypothetical row decoder* (Section 4.2
+and Figure 4), the circuit-level explanation of why an
+``ACT -> PRE -> ACT`` sequence with violated ``tRAS``/``tRP`` opens four
+rows at once:
+
+* A row address splits into a master-wordline (MWL) part -- the high-order
+  bits, i.e. the *segment* -- and the two least-significant bits that pick
+  one of four local-wordline (LWL) drivers via select lines S0..S3.
+* The two LSBs drive four latched signals ``A0/A0b/A1/A1b``.  Each select
+  line is the AND of one polarity of each latch: ``S0 = A0b & A1b``,
+  ``S1 = A0 & A1b``, ``S2 = A0b & A1``, ``S3 = A0 & A1``.
+* A JEDEC-legal PRE resets the latches and closes the open wordlines.  A
+  PRE issued before ``tRAS`` has elapsed does *neither*; the latches stay
+  set and the row stays open.
+* A second ACT arriving before ``tRP`` then sets the *other* polarity
+  latches too.  If its LSBs are the bitwise complement of the first ACT's
+  (``00``/``11`` or ``01``/``10``), all four latches end up asserted, so
+  all four select lines fire and the whole segment activates: QUAC.
+  Non-complementary LSB pairs assert only a subset of the select lines,
+  which is why the paper observes QUAC only for inverted pairs.
+
+The decoder is a small explicit state machine; the device model consults
+it to learn which wordlines are open after each command.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set
+
+from repro.dram.geometry import ROWS_PER_SEGMENT
+from repro.dram.timing import TimingParameters
+
+
+def select_lines_from_latches(a0: bool, a0b: bool, a1: bool, a1b: bool) -> Set[int]:
+    """Evaluate the four LWL select lines from the latch states.
+
+    Returns the set of asserted select-line indices (0..3), following the
+    AND structure of Figure 4: S0=A0b&A1b, S1=A0&A1b, S2=A0b&A1, S3=A0&A1.
+    """
+    asserted: Set[int] = set()
+    if a0b and a1b:
+        asserted.add(0)
+    if a0 and a1b:
+        asserted.add(1)
+    if a0b and a1:
+        asserted.add(2)
+    if a0 and a1:
+        asserted.add(3)
+    return asserted
+
+
+@dataclass
+class DecoderState:
+    """Mutable latch and wordline state of one bank's row decoder."""
+
+    #: Latches driven by Addr[0] / its complement and Addr[1] / complement.
+    a0: bool = False
+    a0b: bool = False
+    a1: bool = False
+    a1b: bool = False
+    #: Segment whose master wordline is currently driven (None if closed).
+    driven_segment: Optional[int] = None
+    #: All open wordlines (absolute row addresses).
+    open_rows: Set[int] = field(default_factory=set)
+    #: Issue time of the most recent ACT / PRE (ns); None if never issued.
+    last_act_ns: Optional[float] = None
+    last_pre_ns: Optional[float] = None
+    #: Row targeted by the first ACT of the current activation episode.
+    #: Downstream charge-sharing gives this row a longer sharing window.
+    first_activated_row: Optional[int] = None
+
+    def reset_latches(self) -> None:
+        """Clear all four address latches (effect of a legal PRE)."""
+        self.a0 = self.a0b = self.a1 = self.a1b = False
+
+
+class RowDecoder:
+    """Row decoder for a single bank.
+
+    The decoder receives timestamped ACT/PRE events and maintains the set
+    of open wordlines.  Timing comparisons against the JEDEC parameters
+    decide whether a PRE actually resets the latches and whether an ACT
+    merges with the previous activation episode (QUAC) or starts afresh.
+    """
+
+    def __init__(self, timing: TimingParameters) -> None:
+        self._timing = timing
+        self._state = DecoderState()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def open_rows(self) -> FrozenSet[int]:
+        """Currently open wordlines (absolute row addresses)."""
+        return frozenset(self._state.open_rows)
+
+    @property
+    def first_activated_row(self) -> Optional[int]:
+        """The row opened by the first ACT of the current episode."""
+        return self._state.first_activated_row
+
+    @property
+    def is_open(self) -> bool:
+        """True if at least one wordline is open."""
+        return bool(self._state.open_rows)
+
+    def merges_at(self, time_ns: float) -> bool:
+        """Would an ACT at ``time_ns`` merge into the current episode?
+
+        True when open wordlines exist and the most recent PRE (if any)
+        has not had ``tRP`` to take effect -- the condition under which a
+        new ACT accumulates latches instead of starting afresh.
+        """
+        return not self._previous_pre_was_effective(time_ns)
+
+    # ------------------------------------------------------------------
+    # Command events
+    # ------------------------------------------------------------------
+
+    def on_activate(self, row: int, time_ns: float) -> FrozenSet[int]:
+        """Process an ACT command; returns the resulting open-row set."""
+        state = self._state
+        lsb = row % ROWS_PER_SEGMENT
+        segment = row // ROWS_PER_SEGMENT
+
+        pre_was_effective = self._previous_pre_was_effective(time_ns)
+        if pre_was_effective or not state.open_rows:
+            # Fresh activation episode: latches start clean.
+            state.reset_latches()
+            state.open_rows.clear()
+            state.first_activated_row = row
+
+        self._set_latches_for(lsb)
+        state.driven_segment = segment
+
+        # The MWL for `segment` is driven; every asserted select line opens
+        # the corresponding LWL in that segment.  Rows from the previous
+        # episode that were never closed stay open as well.
+        selected = select_lines_from_latches(
+            state.a0, state.a0b, state.a1, state.a1b)
+        for line in selected:
+            state.open_rows.add(segment * ROWS_PER_SEGMENT + line)
+        if state.first_activated_row is None:
+            state.first_activated_row = row
+        state.last_act_ns = time_ns
+        return frozenset(state.open_rows)
+
+    def on_precharge(self, time_ns: float) -> bool:
+        """Process a PRE command.
+
+        Returns True if the precharge was *effective* (tRAS satisfied):
+        wordlines closed and latches reset.  An ineffective precharge
+        leaves all state in place, exactly as Section 4.2 hypothesizes.
+        """
+        state = self._state
+        effective = (state.last_act_ns is None or
+                     time_ns - state.last_act_ns >= self._timing.tRAS - 1e-9)
+        if effective:
+            state.open_rows.clear()
+            state.reset_latches()
+            state.driven_segment = None
+            state.first_activated_row = None
+        state.last_pre_ns = time_ns
+        return effective
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _previous_pre_was_effective(self, now_ns: float) -> bool:
+        """Did the most recent PRE complete (reset + bitlines settled)?
+
+        A precharge needs two things to fully take effect before a new
+        ACT: it must itself have been issued legally (handled in
+        :meth:`on_precharge`) and the new ACT must come at least ``tRP``
+        after it.  If either fails, the new ACT merges with the previous
+        episode.
+        """
+        state = self._state
+        if not state.open_rows:
+            return True
+        if state.last_pre_ns is None:
+            # Open rows and no PRE at all: same episode continues.
+            return False
+        return now_ns - state.last_pre_ns >= self._timing.tRP - 1e-9
+
+    def _set_latches_for(self, lsb: int) -> None:
+        """Assert the latch polarities selected by the two LSBs."""
+        state = self._state
+        if lsb & 0b01:
+            state.a0 = True
+        else:
+            state.a0b = True
+        if lsb & 0b10:
+            state.a1 = True
+        else:
+            state.a1b = True
+
+
+def quac_pair_for_segment(segment: int, variant: int = 0) -> tuple:
+    """The two row addresses whose ACTs trigger QUAC on ``segment``.
+
+    The paper observes QUAC only when the two ACTs target rows whose two
+    LSBs are inverted: (00, 11) or (01, 10).  ``variant=0`` returns the
+    (Row0, Row3) pair used by Algorithm 1; ``variant=1`` returns
+    (Row1, Row2).
+    """
+    base = segment * ROWS_PER_SEGMENT
+    if variant == 0:
+        return base + 0, base + 3
+    if variant == 1:
+        return base + 1, base + 2
+    raise ValueError(f"variant must be 0 or 1, got {variant}")

@@ -1,0 +1,29 @@
+"""Entropy measurement and characterization (paper Section 6).
+
+* :mod:`repro.entropy.shannon` -- Shannon-entropy aggregation at bitline,
+  cache-block and segment granularity (Equation 1 and the metrics of
+  Section 6.1.3/6.1.4).
+* :mod:`repro.entropy.characterization` -- the one-time offline
+  characterization pipeline: data-pattern sweeps, spatial entropy maps,
+  highest-entropy segment selection, temperature-indexed results.
+* :mod:`repro.entropy.blocks` -- splitting a segment read-out into SHA
+  input blocks (SIBs) of 256 entropy bits each.
+"""
+
+from repro.entropy.shannon import (bitline_entropy_from_bitstreams,
+                                   cache_block_entropies, segment_entropy)
+from repro.entropy.characterization import (ModuleCharacterization,
+                                            PatternSweepResult)
+from repro.entropy.blocks import (EntropyBlockPlan, plan_entropy_blocks,
+                                  sha_input_blocks)
+
+__all__ = [
+    "bitline_entropy_from_bitstreams",
+    "cache_block_entropies",
+    "segment_entropy",
+    "ModuleCharacterization",
+    "PatternSweepResult",
+    "EntropyBlockPlan",
+    "plan_entropy_blocks",
+    "sha_input_blocks",
+]

@@ -1,0 +1,55 @@
+"""Shannon-entropy aggregation (Equation 1 and the Section 6.1 metrics).
+
+The paper's granularities:
+
+* *bitline entropy* -- entropy of the bitstream one sense amplifier
+  produces over repeated QUAC operations (Section 6.1.2);
+* *cache block entropy* -- sum of the 512 bitline entropies in a cache
+  block (Section 6.1.3/6.1.4);
+* *segment entropy* -- sum of all bitline entropies in a segment
+  (Section 6.1.4; 64K bitlines at full scale).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.geometry import CACHE_BLOCK_BITS
+from repro.dram.sense_amplifier import empirical_entropy
+from repro.errors import BitstreamError
+
+
+def bitline_entropy_from_bitstreams(bitstreams: np.ndarray) -> np.ndarray:
+    """Per-bitline entropy from repeated-measurement data.
+
+    ``bitstreams`` has shape (iterations, bitlines): row i is the i-th
+    QUAC's read-out.  This is the empirical path of Algorithm 1; the
+    analytic path goes through
+    :meth:`repro.dram.device.DramModule.segment_entropy_map`.
+    """
+    arr = np.asarray(bitstreams)
+    if arr.ndim != 2:
+        raise BitstreamError(
+            f"bitstreams must be (iterations, bitlines), got {arr.shape}")
+    return empirical_entropy(arr, axis=0)
+
+
+def cache_block_entropies(bitline_entropies: np.ndarray) -> np.ndarray:
+    """Aggregate per-bitline entropies into per-cache-block sums."""
+    arr = np.asarray(bitline_entropies, dtype=np.float64)
+    if arr.ndim != 1:
+        raise BitstreamError(
+            f"bitline entropies must be 1-D, got shape {arr.shape}")
+    if arr.size % CACHE_BLOCK_BITS:
+        raise BitstreamError(
+            f"{arr.size} bitlines do not tile into "
+            f"{CACHE_BLOCK_BITS}-bit cache blocks")
+    return arr.reshape(-1, CACHE_BLOCK_BITS).sum(axis=1)
+
+
+def segment_entropy(bitline_entropies: np.ndarray) -> float:
+    """Total entropy of a segment: the sum of its bitline entropies."""
+    arr = np.asarray(bitline_entropies, dtype=np.float64)
+    if np.any(arr < 0):
+        raise BitstreamError("entropies cannot be negative")
+    return float(arr.sum())

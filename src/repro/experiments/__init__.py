@@ -1,0 +1,15 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each module exposes ``run(scale=...) -> ExperimentResult``; the shared
+``runner`` executes all of them and renders text tables.  ``scale``
+selects the simulated population size:
+
+* ``"small"`` -- reduced geometry / module subset; seconds; used by the
+  test suite and benchmarks;
+* ``"full"``  -- the paper's full scale (17 modules, 8K segments, 64K
+  bitlines); minutes; used to produce EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import ExperimentResult, ExperimentScale
+
+__all__ = ["ExperimentResult", "ExperimentScale"]

@@ -1,0 +1,122 @@
+"""Shared experiment infrastructure."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.module_factory import TABLE3_SPECS, build_table3_population
+from repro.errors import ConfigurationError
+
+
+class ExperimentScale(enum.Enum):
+    """Population / geometry size of an experiment run."""
+
+    SMALL = "small"
+    FULL = "full"
+
+    def geometry(self) -> DramGeometry:
+        """The DRAM geometry this scale simulates."""
+        if self is ExperimentScale.FULL:
+            return DramGeometry.full_scale()
+        return DramGeometry.small(segments_per_bank=256,
+                                  cache_blocks_per_row=16)
+
+    def scheduling_geometry(self) -> DramGeometry:
+        """Geometry for command scheduling: always the real DDR4 shape.
+
+        Reducing the *simulated entropy* geometry must not change
+        iteration latency -- a real row is 128 cache blocks no matter how
+        small our entropy simulation is -- so throughput models schedule
+        against full scale at every experiment scale.
+        """
+        return DramGeometry.full_scale()
+
+    def module_names(self) -> List[str]:
+        """The Table 3 modules this scale builds."""
+        if self is ExperimentScale.FULL:
+            return [spec.name for spec in TABLE3_SPECS]
+        return ["M1", "M4", "M6", "M13", "M15"]
+
+    def entropy_scale(self) -> float:
+        """Row-width ratio vs full scale (entropy targets shrink with it)."""
+        return self.geometry().row_bits / 65536
+
+    def entropy_per_block(self) -> float:
+        """SIB entropy budget scaled so small runs keep multiple SIBs."""
+        return 256.0 * self.entropy_scale()
+
+    def build_population(self, names: Optional[List[str]] = None):
+        """Build the scale's module population.
+
+        Built modules are cached per (scale, names): module construction
+        runs a calibration solve, and the experiment drivers all share
+        one population.  Drivers that mutate a module (temperature, age)
+        must restore it -- they do.
+        """
+        return _cached_population(self, tuple(names or self.module_names()))
+
+
+@lru_cache(maxsize=8)
+def _cached_population(scale: "ExperimentScale", names: tuple):
+    return build_table3_population(scale.geometry(), names=list(names))
+
+
+def coerce_scale(scale) -> ExperimentScale:
+    """Accept an ExperimentScale or its string value."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return ExperimentScale(scale)
+    except ValueError as error:
+        raise ConfigurationError(
+            f"scale must be 'small' or 'full', got {scale!r}") from error
+
+
+@dataclass
+class ExperimentResult:
+    """A rendered experiment: headers + rows + free-form notes."""
+
+    name: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    #: Machine-readable extras for tests/benches.
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def add_row(self, *values) -> None:
+        """Append one table row."""
+        if len(values) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(values)} cells for {len(self.headers)} "
+                f"headers")
+        self.rows.append(values)
+
+    def format(self) -> str:
+        """Render as an aligned text table."""
+        table = [list(map(_fmt, self.headers))]
+        table += [list(map(_fmt, row)) for row in self.rows]
+        widths = [max(len(row[i]) for row in table)
+                  for i in range(len(self.headers))]
+        lines = [f"== {self.name} =="]
+        for index, row in enumerate(table):
+            lines.append("  ".join(cell.ljust(width)
+                                   for cell, width in zip(row, widths)))
+            if index == 0:
+                lines.append("  ".join("-" * width for width in widths))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)

@@ -1,0 +1,67 @@
+"""Figure 13: TRNG throughput vs DDR4 transfer rate.
+
+Projects every mechanism's 4-channel throughput from 2400 to 12000 MT/s.
+The paper's two observations must hold: D-RaNGe is latency-bound and
+flat, while Talukder+ and QUAC-TRNG scale with bandwidth -- QUAC staying
+ahead of the enhanced Talukder+ by ~2x at 12 GT/s.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DRange, DRangeMode, Talukder, TalukderMode
+from repro.core.throughput import (QuacThroughputModel, TrngConfiguration,
+                                   system_throughput_gbps)
+from repro.dram.timing import FIGURE13_RATES, speed_grade
+from repro.experiments.common import (ExperimentResult, ExperimentScale,
+                                      coerce_scale)
+from repro.experiments.table2 import average_sib
+
+#: Paper values at the endpoints for the notes.
+PAPER_AT_12000 = {"QUAC-TRNG": 46.41, "Talukder+-Enhanced": 22.83,
+                  "D-RaNGe-Enhanced": 11.63, "Talukder+-Basic": 2.54,
+                  "D-RaNGe-Basic": 1.09}
+
+
+def run(scale=ExperimentScale.SMALL, rates=FIGURE13_RATES
+        ) -> ExperimentResult:
+    """Regenerate Figure 13's five series."""
+    scale = coerce_scale(scale)
+    sib = max(1, round(average_sib(scale)))
+
+    def quac_at(rate: int) -> float:
+        model = QuacThroughputModel(speed_grade(rate),
+                                    scale.scheduling_geometry(), sib,
+                                    TrngConfiguration.RC_BGP)
+        return system_throughput_gbps(model.throughput_gbps())
+
+    series = {"QUAC-TRNG": [quac_at(r) for r in rates]}
+    for baseline in (Talukder(TalukderMode.ENHANCED),
+                     DRange(DRangeMode.ENHANCED),
+                     Talukder(TalukderMode.BASIC),
+                     DRange(DRangeMode.BASIC)):
+        series[baseline.name] = baseline.scaling_curve(rates)
+
+    result = ExperimentResult(
+        name="Figure 13: throughput vs DDR4 transfer rate (Gb/s, "
+             "4 channels)",
+        headers=["Mechanism"] + [f"{r} MT/s" for r in rates] +
+                ["Paper @12000"],
+    )
+    for name, values in series.items():
+        result.add_row(name, *values,
+                       PAPER_AT_12000.get(name, float("nan")))
+
+    quac_end = series["QUAC-TRNG"][-1]
+    talukder_end = series["Talukder+-Enhanced"][-1]
+    drange_end = series["D-RaNGe-Enhanced"][-1]
+    result.notes.append(
+        f"at 12 GT/s: QUAC / Talukder+-Enhanced = "
+        f"{quac_end / talukder_end:.2f}x (paper 2.03x); QUAC / "
+        f"D-RaNGe-Enhanced = {quac_end / drange_end:.2f}x (paper 3.99x)")
+    drange_series = series["D-RaNGe-Enhanced"]
+    result.notes.append(
+        f"D-RaNGe growth across the sweep: "
+        f"{drange_series[-1] / drange_series[0]:.2f}x (latency-bound; "
+        f"QUAC grows {quac_end / series['QUAC-TRNG'][0]:.2f}x)")
+    result.data["series"] = series
+    return result

@@ -1,0 +1,69 @@
+"""Run every experiment and render the results.
+
+Usage::
+
+    python -m repro.experiments.runner            # small scale
+    python -m repro.experiments.runner --scale full
+    python -m repro.experiments.runner --only fig11 fig13
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List
+
+from repro.experiments import (common, fig8, fig9, fig10, fig11, fig12,
+                               fig13, fig14, table1, table2, table3)
+from repro.experiments.common import ExperimentResult, coerce_scale
+
+#: Experiment registry in the paper's presentation order.
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig8": fig8.run,
+    "fig9": fig9.run,
+    "fig10": fig10.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13": fig13.run,
+    "fig14": fig14.run,
+}
+
+
+def run_all(scale="small", only: List[str] = None
+            ) -> Dict[str, ExperimentResult]:
+    """Execute the selected experiments; returns name -> result."""
+    scale = coerce_scale(scale)
+    names = only or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {unknown}")
+    results = {}
+    for name in names:
+        results[name] = EXPERIMENTS[name](scale)
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures")
+    parser.add_argument("--scale", choices=["small", "full"],
+                        default="small")
+    parser.add_argument("--only", nargs="*", metavar="EXPERIMENT",
+                        help=f"subset of {', '.join(EXPERIMENTS)}")
+    args = parser.parse_args(argv)
+
+    for name in (args.only or list(EXPERIMENTS)):
+        start = time.time()
+        result = EXPERIMENTS[name](args.scale)
+        elapsed = time.time() - start
+        print(result.format())
+        print(f"  [{name} completed in {elapsed:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""NIST SP 800-22 statistical test suite, implemented from scratch.
+
+The paper validates QUAC-TRNG output with the 15 tests of the NIST
+Statistical Test Suite (Table 1).  Each test lives in its own module and
+exposes a function ``<name>(bits, **params) -> TestResult``; the
+:mod:`repro.nist.suite` module runs all fifteen with the paper's naming
+and computes the acceptance-band pass-rate analysis of Section 7.1.
+"""
+
+from repro.nist.common import TestResult, DEFAULT_SIGNIFICANCE
+from repro.nist.suite import (run_all_tests, NistSuiteReport, TEST_NAMES,
+                              pass_rate_band, proportion_passing)
+
+__all__ = [
+    "TestResult",
+    "DEFAULT_SIGNIFICANCE",
+    "run_all_tests",
+    "NistSuiteReport",
+    "TEST_NAMES",
+    "pass_rate_band",
+    "proportion_passing",
+]

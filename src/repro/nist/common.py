@@ -1,0 +1,134 @@
+"""Shared infrastructure for the NIST SP 800-22 tests.
+
+Conventions, following the NIST STS specification (Bassham et al.,
+NIST SP 800-22 rev. 1a):
+
+* the sequence under test is a bitstream (1-D uint8 of {0, 1});
+* every test returns a :class:`TestResult` carrying one or more p-values;
+* the null hypothesis H0 ("the sequence is random") is accepted at
+  significance ``alpha`` iff every p-value >= alpha;
+* ``igamc`` is the complemented incomplete gamma function Q(a, x)
+  (``scipy.special.gammaincc``), the distribution backbone of the
+  chi-squared-shaped tests.
+
+The paper chooses alpha = 0.001 from the specification's suggested
+[0.01, 0.001] range (Section 6.2); the pass-rate *band* of Section 7.1
+uses alpha = 0.005 in NIST's proportion formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+from scipy.special import erfc, gammaincc
+
+from repro.bitops import ensure_bits
+from repro.errors import BitstreamError
+
+#: The paper's chosen level of significance (Section 6.2).
+DEFAULT_SIGNIFICANCE = 0.001
+
+
+def igamc(a: float, x: float) -> float:
+    """Complemented incomplete gamma function Q(a, x) = igamc of the STS."""
+    return float(gammaincc(a, x))
+
+
+def erfc_scalar(x: float) -> float:
+    """Complementary error function as a Python float."""
+    return float(erfc(x))
+
+
+@dataclass
+class TestResult:
+    """Outcome of one NIST test on one sequence.
+
+    Attributes
+    ----------
+    name:
+        Test identifier in the paper's Table 1 spelling
+        (e.g. ``"frequency_within_block"``).
+    p_value:
+        The test's headline p-value.  For multi-part tests
+        (serial, cumulative sums, random excursions) this is the
+        *minimum* across parts -- the conservative choice: the sequence
+        only passes if every part passes -- with all parts retained in
+        ``extra_p_values``.
+    extra_p_values:
+        Named p-values of every sub-part.
+    statistics:
+        Test-specific diagnostic values (chi-squared, counts, ...).
+    applicable:
+        False when the sequence fails a test precondition (e.g. too few
+        cycles for random excursions).  Inapplicable tests are excluded
+        from pass/fail accounting, per the STS convention.
+    """
+
+    #: Not a pytest class, despite the name.
+    __test__ = False
+
+    name: str
+    p_value: float
+    extra_p_values: Dict[str, float] = field(default_factory=dict)
+    statistics: Dict[str, float] = field(default_factory=dict)
+    applicable: bool = True
+
+    def passes(self, alpha: float = DEFAULT_SIGNIFICANCE) -> bool:
+        """H0 acceptance: every recorded p-value is at least alpha."""
+        if not self.applicable:
+            return True
+        if self.p_value < alpha:
+            return False
+        return all(p >= alpha for p in self.extra_p_values.values())
+
+    def mean_p_value(self) -> float:
+        """Average of the recorded p-values (Table 1 reports averages)."""
+        values = list(self.extra_p_values.values()) or [self.p_value]
+        return float(np.mean(values))
+
+
+def check_sequence(bits: np.ndarray, minimum_length: int,
+                   test_name: str) -> np.ndarray:
+    """Validate the sequence and its minimum recommended length."""
+    arr = ensure_bits(bits)
+    if arr.size < minimum_length:
+        raise BitstreamError(
+            f"{test_name} requires at least {minimum_length} bits, "
+            f"got {arr.size}")
+    return arr
+
+
+def to_plus_minus_one(bits: np.ndarray) -> np.ndarray:
+    """Map {0, 1} bits to {-1, +1} integers (the STS's X_i = 2e_i - 1)."""
+    return bits.astype(np.int64) * 2 - 1
+
+
+def overlapping_window_values(bits: np.ndarray, m: int,
+                              wrap: bool = True) -> np.ndarray:
+    """Integer value of every overlapping m-bit window.
+
+    With ``wrap=True`` the sequence is extended by its first m-1 bits
+    (the serial and approximate-entropy tests' cyclic convention),
+    yielding exactly ``len(bits)`` windows; otherwise ``len - m + 1``.
+    """
+    arr = ensure_bits(bits)
+    if m < 1:
+        raise BitstreamError(f"window length must be >= 1, got {m}")
+    if m > 30:
+        raise BitstreamError(f"window length {m} too large for int values")
+    padded = np.concatenate([arr, arr[: m - 1]]) if wrap and m > 1 else arr
+    n_windows = arr.size if wrap else arr.size - m + 1
+    if n_windows <= 0:
+        raise BitstreamError(f"sequence too short for {m}-bit windows")
+    values = np.zeros(n_windows, dtype=np.int64)
+    for j in range(m):
+        values = (values << 1) | padded[j: j + n_windows]
+    return values
+
+
+def pattern_counts(bits: np.ndarray, m: int, wrap: bool = True) -> np.ndarray:
+    """Histogram of all 2^m overlapping m-bit patterns."""
+    values = overlapping_window_values(bits, m, wrap=wrap)
+    return np.bincount(values, minlength=2 ** m)

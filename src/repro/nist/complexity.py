@@ -1,0 +1,86 @@
+"""NIST test 10: linear complexity (Berlekamp-Massey)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitops import ensure_bits
+from repro.nist.common import TestResult, check_sequence, igamc
+
+#: Category probabilities for the T statistic (SP 800-22 Section 3.10).
+_PI = (0.010417, 0.03125, 0.125, 0.5, 0.25, 0.0625, 0.020833)
+
+
+def berlekamp_massey(bits: np.ndarray) -> int:
+    """Linear complexity of a bit sequence over GF(2).
+
+    Returns the length of the shortest LFSR generating the sequence.
+    The connection polynomials are kept as numpy uint8 arrays so the
+    inner update is a vectorized XOR.
+    """
+    s = ensure_bits(bits)
+    n = s.size
+    c = np.zeros(n, dtype=np.uint8)
+    b = np.zeros(n, dtype=np.uint8)
+    c[0] = 1
+    b[0] = 1
+    complexity, m = 0, -1
+    for i in range(n):
+        if complexity:
+            discrepancy = (s[i] + int(
+                c[1: complexity + 1] @ s[i - complexity: i][::-1])) & 1
+        else:
+            discrepancy = int(s[i]) & 1
+        if discrepancy:
+            t = c.copy()
+            shift = i - m
+            length = n - shift
+            c[shift:] ^= b[:length]
+            if 2 * complexity <= i:
+                complexity = i + 1 - complexity
+                m = i
+                b = t
+    return complexity
+
+
+def linear_complexity(bits: np.ndarray, block_size: int = 500) -> TestResult:
+    """Linear complexity test -- SP 800-22 Section 2.10.
+
+    Splits the sequence into ``block_size``-bit blocks, computes each
+    block's Berlekamp-Massey complexity, and chi-squares the deviation
+    statistic T against its tabulated distribution.
+    """
+    arr = check_sequence(bits, block_size, "linear_complexity")
+    m = block_size
+    n_blocks = arr.size // m
+    if n_blocks < 1:
+        raise ValueError("sequence shorter than one block")
+
+    mu = (m / 2.0 + (9.0 + (-1.0) ** (m + 1)) / 36.0 -
+          (m / 3.0 + 2.0 / 9.0) / 2.0 ** m)
+    categories = np.zeros(7, dtype=np.int64)
+    sign = 1.0 if m % 2 == 0 else -1.0
+    for i in range(n_blocks):
+        block = arr[i * m: (i + 1) * m]
+        t = sign * (berlekamp_massey(block) - mu) + 2.0 / 9.0
+        if t <= -2.5:
+            categories[0] += 1
+        elif t <= -1.5:
+            categories[1] += 1
+        elif t <= -0.5:
+            categories[2] += 1
+        elif t <= 0.5:
+            categories[3] += 1
+        elif t <= 1.5:
+            categories[4] += 1
+        elif t <= 2.5:
+            categories[5] += 1
+        else:
+            categories[6] += 1
+
+    expected = n_blocks * np.asarray(_PI)
+    chi_squared = float(((categories - expected) ** 2 / expected).sum())
+    p = igamc(6 / 2.0, chi_squared / 2.0)
+    return TestResult(name="linear_complexity", p_value=p,
+                      statistics={"chi_squared": chi_squared,
+                                  "n_blocks": float(n_blocks), "mu": mu})

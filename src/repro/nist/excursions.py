@@ -1,0 +1,96 @@
+"""NIST tests 14-15: random excursions and random excursions variant."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import (TestResult, check_sequence, erfc_scalar,
+                               igamc, to_plus_minus_one)
+
+#: States examined by the random excursions test.
+_EXCURSION_STATES = (-4, -3, -2, -1, 1, 2, 3, 4)
+
+#: States examined by the variant.
+_VARIANT_STATES = tuple(x for x in range(-9, 10) if x != 0)
+
+#: Minimum number of zero-crossing cycles for the test to apply.
+MIN_CYCLES = 500
+
+
+def _pi_k(x: int, k: int) -> float:
+    """P(state x is visited exactly k times in one cycle) -- Section 3.14."""
+    ax = abs(x)
+    if k == 0:
+        return 1.0 - 1.0 / (2.0 * ax)
+    if k < 5:
+        return (1.0 / (4.0 * ax * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** (k - 1)
+    # k >= 5 aggregates the tail.
+    return (1.0 / (2.0 * ax)) * (1.0 - 1.0 / (2.0 * ax)) ** 4
+
+
+def _walk_and_cycles(bits: np.ndarray):
+    """The partial-sum walk split into zero-to-zero cycles."""
+    x = to_plus_minus_one(bits)
+    walk = np.concatenate([[0], np.cumsum(x), [0]])
+    zero_positions = np.flatnonzero(walk == 0)
+    cycles = []
+    for start, end in zip(zero_positions[:-1], zero_positions[1:]):
+        cycles.append(walk[start: end + 1])
+    return walk, cycles
+
+
+def random_excursion(bits: np.ndarray) -> TestResult:
+    """Random excursions test -- SP 800-22 Section 2.14.
+
+    For each state x in {-4..-1, 1..4}, chi-squares the distribution of
+    per-cycle visit counts against its theoretical law.  Produces eight
+    p-values; the headline value is their minimum.  Inapplicable (per the
+    STS convention) when the walk has fewer than 500 cycles.
+    """
+    arr = check_sequence(bits, 10000, "random_excursion")
+    _walk, cycles = _walk_and_cycles(arr)
+    j = len(cycles)
+    if j < MIN_CYCLES:
+        return TestResult(name="random_excursion", p_value=1.0,
+                          statistics={"cycles": float(j)}, applicable=False)
+
+    extra = {}
+    stats = {"cycles": float(j)}
+    for state in _EXCURSION_STATES:
+        counts = np.zeros(6, dtype=np.int64)
+        for cycle in cycles:
+            visits = int((cycle == state).sum())
+            counts[min(visits, 5)] += 1
+        pi = np.array([_pi_k(state, k) for k in range(6)])
+        expected = j * pi
+        chi_squared = float(((counts - expected) ** 2 / expected).sum())
+        p = igamc(5 / 2.0, chi_squared / 2.0)
+        extra[f"state_{state}"] = p
+    headline = min(extra.values())
+    return TestResult(name="random_excursion", p_value=headline,
+                      extra_p_values=extra, statistics=stats)
+
+
+def random_excursion_variant(bits: np.ndarray) -> TestResult:
+    """Random excursions variant -- SP 800-22 Section 2.15.
+
+    For each state x in {-9..-1, 1..9}, compares the total number of
+    visits against its expectation J via a half-normal statistic.
+    Eighteen p-values; headline is the minimum.
+    """
+    arr = check_sequence(bits, 10000, "random_excursion_variant")
+    walk, cycles = _walk_and_cycles(arr)
+    j = len(cycles)
+    if j < MIN_CYCLES:
+        return TestResult(name="random_excursion_variant", p_value=1.0,
+                          statistics={"cycles": float(j)}, applicable=False)
+
+    extra = {}
+    for state in _VARIANT_STATES:
+        visits = int((walk == state).sum())
+        denom = np.sqrt(2.0 * j * (4.0 * abs(state) - 2.0))
+        p = erfc_scalar(abs(visits - j) / denom)
+        extra[f"state_{state}"] = p
+    headline = min(extra.values())
+    return TestResult(name="random_excursion_variant", p_value=headline,
+                      extra_p_values=extra, statistics={"cycles": float(j)})

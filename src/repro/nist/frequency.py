@@ -1,0 +1,44 @@
+"""NIST tests 1-2: monobit frequency and frequency within a block."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import (TestResult, check_sequence, erfc_scalar,
+                               igamc, to_plus_minus_one)
+
+
+def monobit(bits: np.ndarray) -> TestResult:
+    """Frequency (monobit) test -- SP 800-22 Section 2.1.
+
+    Tests whether the proportion of ones is ~1/2; the reference
+    distribution of the normalized partial sum is half-normal.
+    """
+    arr = check_sequence(bits, 100, "monobit")
+    n = arr.size
+    s_n = int(to_plus_minus_one(arr).sum())
+    s_obs = abs(s_n) / np.sqrt(n)
+    p = erfc_scalar(s_obs / np.sqrt(2.0))
+    return TestResult(name="monobit", p_value=p,
+                      statistics={"s_obs": float(s_obs), "sum": float(s_n)})
+
+
+def frequency_within_block(bits: np.ndarray, block_size: int = 128) -> TestResult:
+    """Frequency test within a block -- SP 800-22 Section 2.2.
+
+    Splits the sequence into ``block_size``-bit blocks and chi-squares
+    the per-block proportions of ones against 1/2.
+    """
+    arr = check_sequence(bits, 100, "frequency_within_block")
+    n = arr.size
+    n_blocks = n // block_size
+    if n_blocks < 1:
+        raise ValueError(
+            f"sequence of {n} bits has no complete {block_size}-bit block")
+    trimmed = arr[: n_blocks * block_size].reshape(n_blocks, block_size)
+    proportions = trimmed.mean(axis=1)
+    chi_squared = 4.0 * block_size * float(((proportions - 0.5) ** 2).sum())
+    p = igamc(n_blocks / 2.0, chi_squared / 2.0)
+    return TestResult(name="frequency_within_block", p_value=p,
+                      statistics={"chi_squared": chi_squared,
+                                  "n_blocks": float(n_blocks)})

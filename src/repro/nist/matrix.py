@@ -1,0 +1,86 @@
+"""NIST test 5: binary matrix rank."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import TestResult, check_sequence
+from repro.errors import BitstreamError
+
+#: Matrix dimensions fixed by the specification.
+MATRIX_ROWS = 32
+MATRIX_COLS = 32
+
+#: Asymptotic probabilities of rank M, M-1 and <= M-2 for random 32x32
+#: GF(2) matrices (SP 800-22 Section 2.5.4 / 3.5).
+P_FULL_RANK = 0.2888
+P_RANK_MINUS_ONE = 0.5776
+P_RANK_LOWER = 0.1336
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a 0/1 matrix over GF(2), by Gaussian elimination.
+
+    Rows are packed into Python ints so each elimination step is a single
+    XOR -- comfortably fast for the 32x32 matrices the test uses and for
+    the property-based tests that exercise larger shapes.
+    """
+    mat = np.asarray(matrix)
+    if mat.ndim != 2:
+        raise BitstreamError(f"matrix must be 2-D, got shape {mat.shape}")
+    if mat.size and not np.isin(mat, (0, 1)).all():
+        raise BitstreamError("matrix entries must be 0 or 1")
+    n_rows, n_cols = mat.shape
+    rows = [int("".join("1" if b else "0" for b in row), 2) if row.any() else 0
+            for row in mat]
+    rank = 0
+    for col in range(n_cols - 1, -1, -1):
+        pivot_mask = 1 << col
+        pivot_index = None
+        for i in range(rank, n_rows):
+            if rows[i] & pivot_mask:
+                pivot_index = i
+                break
+        if pivot_index is None:
+            continue
+        rows[rank], rows[pivot_index] = rows[pivot_index], rows[rank]
+        for i in range(n_rows):
+            if i != rank and rows[i] & pivot_mask:
+                rows[i] ^= rows[rank]
+        rank += 1
+        if rank == n_rows:
+            break
+    return rank
+
+
+def binary_matrix_rank(bits: np.ndarray) -> TestResult:
+    """Binary matrix rank test -- SP 800-22 Section 2.5.
+
+    Partitions the sequence into disjoint 32x32 matrices and compares the
+    empirical distribution of GF(2) ranks against the asymptotic one.
+    """
+    block = MATRIX_ROWS * MATRIX_COLS
+    arr = check_sequence(bits, 38 * block, "binary_matrix_rank")
+    n_matrices = arr.size // block
+    full = 0
+    minus_one = 0
+    for i in range(n_matrices):
+        mat = arr[i * block: (i + 1) * block].reshape(MATRIX_ROWS, MATRIX_COLS)
+        r = gf2_rank(mat)
+        if r == MATRIX_ROWS:
+            full += 1
+        elif r == MATRIX_ROWS - 1:
+            minus_one += 1
+    lower = n_matrices - full - minus_one
+    expected = np.array([P_FULL_RANK, P_RANK_MINUS_ONE, P_RANK_LOWER])
+    observed = np.array([full, minus_one, lower], dtype=np.float64)
+    chi_squared = float(
+        ((observed - n_matrices * expected) ** 2 /
+         (n_matrices * expected)).sum())
+    # Two degrees of freedom: p = exp(-chi^2 / 2).
+    p = float(np.exp(-chi_squared / 2.0))
+    return TestResult(name="binary_matrix_rank", p_value=p,
+                      statistics={"chi_squared": chi_squared,
+                                  "full_rank": float(full),
+                                  "rank_minus_one": float(minus_one),
+                                  "n_matrices": float(n_matrices)})

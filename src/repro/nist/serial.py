@@ -1,0 +1,61 @@
+"""NIST tests 11-12: serial and approximate entropy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import (TestResult, check_sequence, igamc,
+                               pattern_counts)
+
+
+def _psi_squared(bits: np.ndarray, m: int) -> float:
+    """The STS psi^2_m statistic: pattern-frequency concentration."""
+    if m <= 0:
+        return 0.0
+    counts = pattern_counts(bits, m, wrap=True)
+    n = bits.size
+    return float((counts.astype(np.float64) ** 2).sum() * (2.0 ** m) / n - n)
+
+
+def serial(bits: np.ndarray, m: int = 16) -> TestResult:
+    """Serial test -- SP 800-22 Section 2.11.
+
+    Compares the frequencies of all overlapping m-bit patterns (and the
+    m-1 / m-2 marginals) against uniformity.  Yields two p-values; the
+    headline value is their minimum (both must pass).
+    """
+    arr = check_sequence(bits, 2 ** (m + 2), "serial")
+    psi_m = _psi_squared(arr, m)
+    psi_m1 = _psi_squared(arr, m - 1)
+    psi_m2 = _psi_squared(arr, m - 2)
+    delta1 = psi_m - psi_m1
+    delta2 = psi_m - 2.0 * psi_m1 + psi_m2
+    p1 = igamc(2.0 ** (m - 2), delta1 / 2.0)
+    p2 = igamc(2.0 ** (m - 3), delta2 / 2.0)
+    return TestResult(name="serial", p_value=min(p1, p2),
+                      extra_p_values={"p_value1": p1, "p_value2": p2},
+                      statistics={"delta1": delta1, "delta2": delta2,
+                                  "m": float(m)})
+
+
+def approximate_entropy(bits: np.ndarray, m: int = 10) -> TestResult:
+    """Approximate entropy test -- SP 800-22 Section 2.12.
+
+    Compares the empirical entropy rates of overlapping m- and
+    (m+1)-bit patterns; regular sequences have ApEn below ln 2.
+    """
+    arr = check_sequence(bits, 2 ** (m + 5), "approximate_entropy")
+    n = arr.size
+
+    def phi(block_length: int) -> float:
+        counts = pattern_counts(arr, block_length, wrap=True)
+        probs = counts[counts > 0].astype(np.float64) / n
+        return float((probs * np.log(probs)).sum())
+
+    ap_en = phi(m) - phi(m + 1)
+    chi_squared = 2.0 * n * (np.log(2.0) - ap_en)
+    p = igamc(2.0 ** (m - 1), chi_squared / 2.0)
+    return TestResult(name="approximate_entropy", p_value=p,
+                      statistics={"ap_en": float(ap_en),
+                                  "chi_squared": float(chi_squared),
+                                  "m": float(m)})

@@ -1,0 +1,28 @@
+"""NIST test 6: discrete Fourier transform (spectral) test."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nist.common import (TestResult, check_sequence, erfc_scalar,
+                               to_plus_minus_one)
+
+
+def dft(bits: np.ndarray) -> TestResult:
+    """Discrete Fourier transform test -- SP 800-22 Section 2.6.
+
+    Detects periodic features: under H0, 95% of the DFT peak moduli of
+    the +/-1 sequence fall below the threshold T = sqrt(n ln(1/0.05)).
+    """
+    arr = check_sequence(bits, 1000, "dft")
+    n = arr.size
+    x = to_plus_minus_one(arr).astype(np.float64)
+    spectrum = np.abs(np.fft.rfft(x))[: n // 2]
+    threshold = np.sqrt(np.log(1.0 / 0.05) * n)
+    n0 = 0.95 * n / 2.0
+    n1 = float((spectrum < threshold).sum())
+    d = (n1 - n0) / np.sqrt(n * 0.95 * 0.05 / 4.0)
+    p = erfc_scalar(abs(d) / np.sqrt(2.0))
+    return TestResult(name="dft", p_value=p,
+                      statistics={"n1": n1, "n0": n0, "d": float(d),
+                                  "threshold": float(threshold)})

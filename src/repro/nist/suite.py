@@ -1,0 +1,163 @@
+"""Run the full 15-test NIST suite and the paper's pass-rate analysis.
+
+Table 1 of the paper lists the fifteen tests by name; this module runs
+them all on a sequence and aggregates results.  Section 7.1 additionally
+partitions a long stream into 1 Mb sequences and checks that the
+proportion passing every test exceeds NIST's acceptance band
+
+    (1 - alpha) - 3 sqrt(alpha (1 - alpha) / k)
+
+with alpha = 0.005 and k the number of sequences (the paper quotes
+98.84% for k = 1024); :func:`pass_rate_band` reproduces that bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.bitops import ensure_bits
+from repro.nist.common import DEFAULT_SIGNIFICANCE, TestResult
+from repro.nist.complexity import linear_complexity
+from repro.nist.cusum import cumulative_sums
+from repro.nist.excursions import random_excursion, random_excursion_variant
+from repro.nist.frequency import frequency_within_block, monobit
+from repro.nist.matrix import binary_matrix_rank
+from repro.nist.runs import longest_run_ones_in_a_block, runs
+from repro.nist.serial import approximate_entropy, serial
+from repro.nist.spectral import dft
+from repro.nist.templates import (non_overlapping_template_matching,
+                                  overlapping_template_matching)
+from repro.nist.universal import maurers_universal
+
+#: Table 1's row order and spelling.
+TEST_NAMES = (
+    "monobit",
+    "frequency_within_block",
+    "runs",
+    "longest_run_ones_in_a_block",
+    "binary_matrix_rank",
+    "dft",
+    "non_overlapping_template_matching",
+    "overlapping_template_matching",
+    "maurers_universal",
+    "linear_complexity",
+    "serial",
+    "approximate_entropy",
+    "cumulative_sums",
+    "random_excursion",
+    "random_excursion_variant",
+)
+
+#: Sequence length below which a test is skipped rather than run with
+#: out-of-spec parameters, keyed by test name.
+_MIN_LENGTHS = {
+    "monobit": 100,
+    "frequency_within_block": 128,
+    "runs": 100,
+    "longest_run_ones_in_a_block": 128,
+    "binary_matrix_rank": 38 * 1024,
+    "dft": 1000,
+    "non_overlapping_template_matching": 8 * 256,
+    "overlapping_template_matching": 1032 * 32,
+    "maurers_universal": 1010 * 64 * 6,
+    "linear_complexity": 500 * 32,
+    "serial": 2 ** 18,
+    "approximate_entropy": 2 ** 15,
+    "cumulative_sums": 100,
+    "random_excursion": 100000,
+    "random_excursion_variant": 100000,
+}
+
+_RUNNERS: Dict[str, Callable[[np.ndarray], TestResult]] = {
+    "monobit": monobit,
+    "frequency_within_block": frequency_within_block,
+    "runs": runs,
+    "longest_run_ones_in_a_block": longest_run_ones_in_a_block,
+    "binary_matrix_rank": binary_matrix_rank,
+    "dft": dft,
+    "non_overlapping_template_matching": non_overlapping_template_matching,
+    "overlapping_template_matching": overlapping_template_matching,
+    "maurers_universal": maurers_universal,
+    "linear_complexity": linear_complexity,
+    "serial": serial,
+    "approximate_entropy": approximate_entropy,
+    "cumulative_sums": cumulative_sums,
+    "random_excursion": random_excursion,
+    "random_excursion_variant": random_excursion_variant,
+}
+
+
+@dataclass
+class NistSuiteReport:
+    """Results of one full-suite run on one sequence."""
+
+    results: Dict[str, TestResult] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    def passes_all(self, alpha: float = DEFAULT_SIGNIFICANCE) -> bool:
+        """True iff every executed test accepts H0 at ``alpha``."""
+        return all(r.passes(alpha) for r in self.results.values())
+
+    def p_values(self) -> Dict[str, float]:
+        """Headline p-value per executed test."""
+        return {name: r.p_value for name, r in self.results.items()}
+
+    def failing(self, alpha: float = DEFAULT_SIGNIFICANCE) -> List[str]:
+        """Names of tests rejecting H0 at ``alpha``."""
+        return [name for name, r in self.results.items()
+                if not r.passes(alpha)]
+
+
+def run_all_tests(bits: np.ndarray,
+                  tests: Optional[Sequence[str]] = None,
+                  skip_too_short: bool = True) -> NistSuiteReport:
+    """Run the NIST suite (or a named subset) on one sequence.
+
+    Parameters
+    ----------
+    bits:
+        The sequence under test.
+    tests:
+        Subset of :data:`TEST_NAMES`; defaults to all fifteen.
+    skip_too_short:
+        When True (default), tests whose recommended minimum length
+        exceeds the sequence are recorded in ``report.skipped`` instead
+        of raising.
+    """
+    arr = ensure_bits(bits)
+    selected = list(tests) if tests is not None else list(TEST_NAMES)
+    unknown = [t for t in selected if t not in _RUNNERS]
+    if unknown:
+        raise KeyError(f"unknown NIST tests: {unknown}")
+    report = NistSuiteReport()
+    for name in selected:
+        if skip_too_short and arr.size < _MIN_LENGTHS[name]:
+            report.skipped.append(name)
+            continue
+        report.results[name] = _RUNNERS[name](arr)
+    return report
+
+
+def proportion_passing(sequences: Sequence[np.ndarray],
+                       alpha: float = DEFAULT_SIGNIFICANCE,
+                       tests: Optional[Sequence[str]] = None) -> float:
+    """Fraction of sequences passing every executed test (Section 7.1)."""
+    if not sequences:
+        raise ValueError("need at least one sequence")
+    passed = sum(
+        1 for seq in sequences if run_all_tests(seq, tests).passes_all(alpha))
+    return passed / len(sequences)
+
+
+def pass_rate_band(k: int, alpha: float = 0.005) -> float:
+    """NIST minimum acceptable pass proportion for ``k`` sequences.
+
+    ``(1 - alpha) - 3 sqrt(alpha (1 - alpha) / k)``; the paper quotes
+    98.84% for k = 1024, alpha = 0.005.
+    """
+    if k <= 0:
+        raise ValueError(f"sequence count must be positive, got {k}")
+    return (1.0 - alpha) - 3.0 * np.sqrt(alpha * (1.0 - alpha) / k)

@@ -1,0 +1,155 @@
+"""NIST tests 7-8: non-overlapping and overlapping template matching."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.bitops import ensure_bits
+from repro.errors import BitstreamError
+from repro.nist.common import TestResult, check_sequence, igamc
+
+#: Default non-overlapping template (the STS's canonical m=9 example).
+DEFAULT_NONOVERLAPPING_TEMPLATE = (0, 0, 0, 0, 0, 0, 0, 0, 1)
+
+#: Overlapping-template category probabilities for m=9, M=1032, K=5
+#: (SP 800-22 Section 3.8, corrected values).
+_OVERLAPPING_PI = (0.364091, 0.185659, 0.139381, 0.100571, 0.070432,
+                   0.139865)
+
+
+def _template_array(template: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(template, dtype=np.uint8)
+    if arr.ndim != 1 or arr.size < 2:
+        raise BitstreamError("template must be a 1-D sequence of >= 2 bits")
+    if not np.isin(arr, (0, 1)).all():
+        raise BitstreamError("template bits must be 0 or 1")
+    return arr
+
+
+def _match_positions(block: np.ndarray, template: np.ndarray) -> np.ndarray:
+    """Boolean array: does the template match at each window start?"""
+    m = template.size
+    n = block.size
+    if n < m:
+        return np.zeros(0, dtype=bool)
+    matches = np.ones(n - m + 1, dtype=bool)
+    for j in range(m):
+        matches &= block[j: n - m + 1 + j] == template[j]
+    return matches
+
+
+def non_overlapping_template_matching(
+        bits: np.ndarray,
+        template: Sequence[int] = DEFAULT_NONOVERLAPPING_TEMPLATE,
+        n_blocks: int = 8) -> TestResult:
+    """Non-overlapping template matching -- SP 800-22 Section 2.7.
+
+    Counts non-overlapping occurrences of the template in each of
+    ``n_blocks`` equal blocks; the counts are approximately normal under
+    H0, giving a chi-squared statistic with ``n_blocks`` terms.
+    """
+    arr = check_sequence(bits, 100, "non_overlapping_template_matching")
+    tmpl = _template_array(template)
+    m = tmpl.size
+    block_size = arr.size // n_blocks
+    if block_size <= m:
+        raise BitstreamError(
+            f"blocks of {block_size} bits cannot host an {m}-bit template")
+    mean = (block_size - m + 1) / 2.0 ** m
+    variance = block_size * (1.0 / 2.0 ** m - (2.0 * m - 1) / 2.0 ** (2 * m))
+
+    counts = []
+    for i in range(n_blocks):
+        block = arr[i * block_size: (i + 1) * block_size]
+        matches = _match_positions(block, tmpl)
+        # Non-overlapping scan: after a hit, skip m positions.
+        count = 0
+        j = 0
+        hit_positions = np.flatnonzero(matches)
+        for pos in hit_positions.tolist():
+            if pos >= j:
+                count += 1
+                j = pos + m
+        counts.append(count)
+
+    counts = np.asarray(counts, dtype=np.float64)
+    chi_squared = float(((counts - mean) ** 2 / variance).sum())
+    p = igamc(n_blocks / 2.0, chi_squared / 2.0)
+    return TestResult(name="non_overlapping_template_matching", p_value=p,
+                      statistics={"chi_squared": chi_squared,
+                                  "mean": mean, "variance": variance})
+
+
+def overlapping_template_matching(bits: np.ndarray, m: int = 9,
+                                  block_size: int = 1032) -> TestResult:
+    """Overlapping template matching -- SP 800-22 Section 2.8.
+
+    Counts (overlapping) occurrences of the all-ones m-bit template per
+    block, categorizes the counts into {0, 1, 2, 3, 4, >=5} and
+    chi-squares against the theoretical category probabilities.
+    """
+    arr = check_sequence(bits, block_size, "overlapping_template_matching")
+    if m != 9 or block_size != 1032:
+        raise BitstreamError(
+            "category probabilities are tabulated for m=9, M=1032 only")
+    tmpl = np.ones(m, dtype=np.uint8)
+    n_blocks = arr.size // block_size
+    categories = np.zeros(6, dtype=np.int64)
+    for i in range(n_blocks):
+        block = arr[i * block_size: (i + 1) * block_size]
+        count = int(_match_positions(block, tmpl).sum())
+        categories[min(count, 5)] += 1
+    pi = np.asarray(_OVERLAPPING_PI)
+    expected = n_blocks * pi
+    chi_squared = float(((categories - expected) ** 2 / expected).sum())
+    p = igamc(5 / 2.0, chi_squared / 2.0)
+    return TestResult(name="overlapping_template_matching", p_value=p,
+                      statistics={"chi_squared": chi_squared,
+                                  "n_blocks": float(n_blocks)})
+
+
+def non_overlapping_all_templates(bits: np.ndarray, m: int = 9,
+                                  n_blocks: int = 8,
+                                  max_templates: int = None) -> list:
+    """The full STS variant: one result per aperiodic m-bit template.
+
+    The reference STS runs the non-overlapping test for all 148
+    aperiodic 9-bit templates and reports each p-value.  Returns the
+    :class:`~repro.nist.common.TestResult` list in template order;
+    ``max_templates`` truncates for bounded runtimes.
+    """
+    results = []
+    for template in aperiodic_templates(m)[:max_templates]:
+        result = non_overlapping_template_matching(bits, template, n_blocks)
+        result.statistics["template"] = float(
+            int("".join(str(b) for b in template), 2))
+        results.append(result)
+    return results
+
+
+def aperiodic_templates(m: int) -> list:
+    """All aperiodic m-bit templates, as the full STS test iterates.
+
+    A template is aperiodic if no proper cyclic shift of it matches an
+    overlap with itself (equivalently: it cannot occur at two overlapping
+    positions).  Exposed for the extended, all-templates variant of the
+    non-overlapping test.
+    """
+    if not 2 <= m <= 16:
+        raise BitstreamError(f"template length must be in [2, 16], got {m}")
+    result = []
+    for value in range(2 ** m):
+        bits = [(value >> (m - 1 - i)) & 1 for i in range(m)]
+        if _is_aperiodic(bits):
+            result.append(tuple(bits))
+    return result
+
+
+def _is_aperiodic(bits: list) -> bool:
+    m = len(bits)
+    for shift in range(1, m):
+        if bits[shift:] == bits[: m - shift]:
+            return False
+    return True

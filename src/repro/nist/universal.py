@@ -1,0 +1,85 @@
+"""NIST test 9: Maurer's "universal statistical" test."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import BitstreamError
+from repro.nist.common import (TestResult, check_sequence, erfc_scalar,
+                               overlapping_window_values)
+
+#: (L, expectedValue, variance) table from SP 800-22 Section 2.9.4.
+_MAURER_TABLE = {
+    6: (5.2177052, 2.954),
+    7: (6.1962507, 3.125),
+    8: (7.1836656, 3.238),
+    9: (8.1764248, 3.311),
+    10: (9.1723243, 3.356),
+    11: (10.170032, 3.384),
+    12: (11.168765, 3.401),
+    13: (12.168070, 3.410),
+    14: (13.167693, 3.416),
+    15: (14.167488, 3.419),
+    16: (15.167379, 3.421),
+}
+
+#: Minimum sequence length for each L: n >= (Q + K) * L with Q = 10 * 2^L
+#: and K ~ 1000 * 2^L (the spec's n >= 1010 * 2^L * L guideline).
+def _select_block_length(n: int) -> int:
+    chosen = 0
+    for length in sorted(_MAURER_TABLE):
+        if n >= 1010 * (2 ** length) * length:
+            chosen = length
+    return chosen
+
+
+def maurers_universal(bits: np.ndarray, block_length: int = None,
+                      init_blocks: int = None) -> TestResult:
+    """Maurer's universal statistical test -- SP 800-22 Section 2.9.
+
+    Measures the compressibility of the sequence via the log-distances
+    between repeated L-bit blocks.  L and the initialization segment Q
+    auto-select from the sequence length per the specification's table;
+    explicit values may be passed for testing.
+    """
+    arr = check_sequence(bits, 1010 * 2 ** 6 * 6, "maurers_universal") \
+        if block_length is None else np.asarray(bits, dtype=np.uint8)
+    length = block_length or _select_block_length(arr.size)
+    if length not in _MAURER_TABLE:
+        raise BitstreamError(
+            f"no Maurer parameterization for L={length} "
+            f"(sequence of {arr.size} bits)")
+    expected, variance = _MAURER_TABLE[length]
+    q = init_blocks or 10 * 2 ** length
+    total_blocks = arr.size // length
+    k = total_blocks - q
+    if k <= 0:
+        raise BitstreamError(
+            f"sequence provides {total_blocks} blocks but the "
+            f"initialization segment needs {q}")
+
+    # Non-overlapping L-bit block values.
+    trimmed = arr[: total_blocks * length]
+    values = overlapping_window_values(trimmed, length, wrap=False)[::length]
+
+    last_seen = np.zeros(2 ** length, dtype=np.int64)
+    # Initialization segment: record last occurrence (1-indexed blocks).
+    for i in range(q):
+        last_seen[values[i]] = i + 1
+    total = 0.0
+    log2 = np.log(2.0)
+    for i in range(q, total_blocks):
+        index = i + 1
+        total += np.log(index - last_seen[values[i]]) / log2
+        last_seen[values[i]] = index
+    fn = total / k
+
+    # Finite-K correction to the variance (SP 800-22 Section 2.9.4).
+    c = 0.7 - 0.8 / length + (4 + 32.0 / length) * k ** (-3.0 / length) / 15.0
+    sigma = c * np.sqrt(variance / k)
+    p = erfc_scalar(abs((fn - expected) / (np.sqrt(2.0) * sigma)))
+    return TestResult(name="maurers_universal", p_value=p,
+                      statistics={"fn": float(fn), "expected": expected,
+                                  "sigma": float(sigma),
+                                  "block_length": float(length),
+                                  "init_blocks": float(q)})

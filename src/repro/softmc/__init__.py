@@ -1,0 +1,37 @@
+"""SoftMC-like programmable DRAM command host (simulated).
+
+The paper drives its DDR4 modules through SoftMC (Hassan et al., HPCA
+2017): the host composes sequences of DDR4 commands with explicit,
+possibly JEDEC-violating timings, ships them to an FPGA memory
+controller, and reads results back over PCIe.  This subpackage gives the
+same programming model against the simulated module:
+
+* :mod:`repro.softmc.instructions` -- the program representation
+  (timestamped command instructions plus waits);
+* :mod:`repro.softmc.program` -- builders for the paper's key programs,
+  most importantly Algorithm 1 (QUAC randomness testing);
+* :mod:`repro.softmc.host` -- the host that executes a program against a
+  :class:`~repro.dram.device.DramModule` and collects read data;
+* :mod:`repro.softmc.temperature_controller` -- the closed-loop PID
+  temperature rig of the paper's Figure 7.
+"""
+
+from repro.softmc.instructions import (Instruction, InstructionKind,
+                                       SoftMcProgram)
+from repro.softmc.program import (quac_randomness_program,
+                                  row_initialization_program,
+                                  segment_readout_program)
+from repro.softmc.host import SoftMcHost, ExecutionResult
+from repro.softmc.temperature_controller import TemperatureController
+
+__all__ = [
+    "Instruction",
+    "InstructionKind",
+    "SoftMcProgram",
+    "quac_randomness_program",
+    "row_initialization_program",
+    "segment_readout_program",
+    "SoftMcHost",
+    "ExecutionResult",
+    "TemperatureController",
+]

@@ -1,0 +1,103 @@
+"""SoftMC host: executes programs against a simulated module.
+
+The host plays the role of the paper's FPGA + PCIe host machine: it
+resolves a program's relative delays into absolute command-bus times,
+issues each command to the module, collects RD data, and reports the
+execution's timing together with any JEDEC violations observed (the
+expected ones, for QUAC programs: tRAS and tRP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.dram.commands import Command, CommandKind, CommandTrace
+from repro.dram.device import DramModule
+from repro.softmc.instructions import InstructionKind, SoftMcProgram
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one program execution produced."""
+
+    #: Concatenated RD data, in program order (one 512-bit block per RD).
+    read_data: np.ndarray
+    #: The absolute-time command trace that was issued.
+    trace: CommandTrace
+    #: Wall-clock duration of the execution in nanoseconds.
+    duration_ns: float
+    #: JEDEC violations detected in the trace (informational).
+    violations: List[str] = field(default_factory=list)
+
+
+class SoftMcHost:
+    """Executes SoftMC programs against a :class:`DramModule`.
+
+    The host keeps a running clock so that consecutive executions are
+    correctly spaced (a bank's decoder state depends on absolute times).
+    """
+
+    def __init__(self, module: DramModule) -> None:
+        self._module = module
+        self._clock_ns = 0.0
+
+    @property
+    def clock_ns(self) -> float:
+        """Current host time (ns since construction)."""
+        return self._clock_ns
+
+    def execute(self, program: SoftMcProgram) -> ExecutionResult:
+        """Run one program to completion and collect its reads."""
+        trace = CommandTrace()
+        reads: List[np.ndarray] = []
+        start = self._clock_ns
+        for instruction in program.instructions:
+            if instruction.kind is InstructionKind.WAIT:
+                self._clock_ns += instruction.delay_ns
+                continue
+            command = self._to_command(instruction)
+            trace.append(command)
+            if instruction.kind is InstructionKind.WR:
+                # Data rides the command in the simulation; issue by hand.
+                self._module.write_column(
+                    instruction.bank_group, instruction.bank,
+                    instruction.column,
+                    np.asarray(instruction.data, dtype=np.uint8))
+            else:
+                data = self._module.issue(command)
+                if instruction.kind is InstructionKind.RD:
+                    reads.append(data)
+            self._clock_ns += instruction.delay_ns
+        duration = self._clock_ns - start
+        read_data = (np.concatenate(reads) if reads
+                     else np.zeros(0, dtype=np.uint8))
+        violations = trace.violations(self._module.timing)
+        return ExecutionResult(read_data=read_data, trace=trace,
+                               duration_ns=duration, violations=violations)
+
+    def execute_repeated(self, program: SoftMcProgram,
+                         iterations: int) -> np.ndarray:
+        """Run a program ``iterations`` times; stack the reads per run.
+
+        Returns a ``(iterations, bits_per_run)`` array -- the shape the
+        paper's 1000-iteration entropy measurements consume.
+        """
+        rows = []
+        for _ in range(iterations):
+            rows.append(self.execute(program).read_data)
+        return np.stack(rows)
+
+    def _to_command(self, instruction) -> Command:
+        kind = {
+            InstructionKind.ACT: CommandKind.ACT,
+            InstructionKind.PRE: CommandKind.PRE,
+            InstructionKind.RD: CommandKind.RD,
+            InstructionKind.WR: CommandKind.WR,
+        }[instruction.kind]
+        return Command(kind=kind, time_ns=self._clock_ns,
+                       bank_group=instruction.bank_group,
+                       bank=instruction.bank, row=instruction.row,
+                       column=instruction.column)

@@ -1,0 +1,111 @@
+"""SoftMC program representation.
+
+A SoftMC program is an ordered list of instructions; each instruction is
+either a DDR4 command or a WAIT.  Unlike the raw
+:class:`~repro.dram.commands.CommandTrace`, a program is *relative*: it
+carries inter-instruction delays rather than absolute timestamps, so the
+same program can be replayed at any point in time and composed with
+others.  The host resolves delays into absolute issue times at execution.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+
+
+class InstructionKind(enum.Enum):
+    """SoftMC instruction opcodes."""
+
+    ACT = "ACT"
+    PRE = "PRE"
+    RD = "RD"
+    WR = "WR"
+    WAIT = "WAIT"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One SoftMC instruction.
+
+    ``delay_ns`` is the time to wait *after* issuing this instruction
+    before the next one; WAIT instructions carry only a delay.  ``data``
+    (for WR) is a 512-bit cache-block payload expressed as a tuple so the
+    instruction stays hashable.
+    """
+
+    kind: InstructionKind
+    delay_ns: float = 0.0
+    bank_group: int = 0
+    bank: int = 0
+    row: Optional[int] = None
+    column: Optional[int] = None
+    data: Optional[tuple] = None
+
+    def __post_init__(self) -> None:
+        if self.delay_ns < 0:
+            raise ConfigurationError("delays must be non-negative")
+        if self.kind is InstructionKind.ACT and self.row is None:
+            raise ConfigurationError("ACT requires a row")
+        if self.kind in (InstructionKind.RD, InstructionKind.WR) \
+                and self.column is None:
+            raise ConfigurationError(f"{self.kind.value} requires a column")
+        if self.kind is InstructionKind.WR and self.data is None:
+            raise ConfigurationError("WR requires data")
+
+
+@dataclass
+class SoftMcProgram:
+    """An ordered SoftMC instruction sequence with composition helpers."""
+
+    instructions: List[Instruction] = field(default_factory=list)
+    label: str = ""
+
+    def act(self, bank_group: int, bank: int, row: int,
+            delay_ns: float = 0.0) -> "SoftMcProgram":
+        """Append an ACT; returns self for chaining."""
+        self.instructions.append(Instruction(
+            InstructionKind.ACT, delay_ns, bank_group, bank, row=row))
+        return self
+
+    def pre(self, bank_group: int, bank: int,
+            delay_ns: float = 0.0) -> "SoftMcProgram":
+        """Append a PRE."""
+        self.instructions.append(Instruction(
+            InstructionKind.PRE, delay_ns, bank_group, bank))
+        return self
+
+    def rd(self, bank_group: int, bank: int, column: int,
+           delay_ns: float = 0.0) -> "SoftMcProgram":
+        """Append a RD."""
+        self.instructions.append(Instruction(
+            InstructionKind.RD, delay_ns, bank_group, bank, column=column))
+        return self
+
+    def wr(self, bank_group: int, bank: int, column: int, data,
+           delay_ns: float = 0.0) -> "SoftMcProgram":
+        """Append a WR of one 512-bit cache block."""
+        self.instructions.append(Instruction(
+            InstructionKind.WR, delay_ns, bank_group, bank, column=column,
+            data=tuple(int(b) for b in data)))
+        return self
+
+    def wait(self, delay_ns: float) -> "SoftMcProgram":
+        """Append a pure delay."""
+        self.instructions.append(Instruction(InstructionKind.WAIT, delay_ns))
+        return self
+
+    def extend(self, other: "SoftMcProgram") -> "SoftMcProgram":
+        """Append another program's instructions."""
+        self.instructions.extend(other.instructions)
+        return self
+
+    def duration_ns(self) -> float:
+        """Total programmed time (sum of all delays)."""
+        return sum(i.delay_ns for i in self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)

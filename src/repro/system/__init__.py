@@ -1,0 +1,31 @@
+"""System-integration study substrate (Section 7.3, Figure 12).
+
+The paper replays SPEC2006 memory traces through Ramulator to find the
+idle intervals of each DRAM channel, then injects QUAC-TRNG command
+sequences into those intervals.  We have neither SPEC binaries nor their
+proprietary traces, so:
+
+* :mod:`repro.system.traces` synthesizes per-workload request streams
+  from published memory-intensity characteristics (MPKI, IPC, row
+  locality) of the 23 SPEC2006 workloads the paper plots;
+* :mod:`repro.system.channel` is a single-channel DRAM front-end
+  simulator that services the stream and records busy/idle intervals;
+* :mod:`repro.system.integration` injects TRNG iterations into the idle
+  intervals and reports the achievable random-number throughput.
+"""
+
+from repro.system.traces import (WorkloadSpec, SPEC2006_WORKLOADS,
+                                 workload_by_name, generate_arrivals)
+from repro.system.channel import ChannelSimulator, ChannelActivity
+from repro.system.integration import IdleTrngInjector, WorkloadTrngResult
+
+__all__ = [
+    "WorkloadSpec",
+    "SPEC2006_WORKLOADS",
+    "workload_by_name",
+    "generate_arrivals",
+    "ChannelSimulator",
+    "ChannelActivity",
+    "IdleTrngInjector",
+    "WorkloadTrngResult",
+]

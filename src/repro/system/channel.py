@@ -1,0 +1,121 @@
+"""Single-channel DRAM front-end simulator (the Ramulator stand-in).
+
+Services a request arrival stream and records when the channel is busy.
+Each request occupies the channel for its command slots and data burst;
+row misses pay an additional precharge + activate occupancy.  Requests
+queue FIFO when they find the channel busy.
+
+What downstream consumers need is the *idle-interval structure* --
+Section 7.3 injects TRNG commands into exactly those intervals -- so the
+simulator's output is the sorted list of busy intervals and helpers to
+enumerate the gaps between them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.rng import generator_for
+
+
+@dataclass
+class ChannelActivity:
+    """Busy/idle structure of one simulated channel window."""
+
+    duration_ns: float
+    busy_intervals: List[Tuple[float, float]]
+
+    def busy_time_ns(self) -> float:
+        """Total busy time."""
+        return sum(end - start for start, end in self.busy_intervals)
+
+    def utilization(self) -> float:
+        """Fraction of the window the channel was busy."""
+        return self.busy_time_ns() / self.duration_ns
+
+    def idle_gaps(self) -> List[Tuple[float, float]]:
+        """Maximal idle intervals, in time order."""
+        gaps = []
+        cursor = 0.0
+        for start, end in self.busy_intervals:
+            if start > cursor:
+                gaps.append((cursor, start))
+            cursor = max(cursor, end)
+        if cursor < self.duration_ns:
+            gaps.append((cursor, self.duration_ns))
+        return gaps
+
+    def idle_gap_lengths(self) -> np.ndarray:
+        """Lengths of the idle intervals (ns)."""
+        return np.asarray([end - start for start, end in self.idle_gaps()])
+
+
+class ChannelSimulator:
+    """FIFO single-channel service model.
+
+    Besides demand requests, the channel periodically performs refresh:
+    every ``tREFI`` the whole rank is busy for ``tRFC`` (~4.5% of time
+    at DDR4 defaults), which fragments idle windows exactly like demand
+    traffic does.  Refresh can be disabled for experiments isolating
+    demand-induced fragmentation.
+    """
+
+    def __init__(self, timing: TimingParameters, row_hit_rate: float = 0.5,
+                 seed: int = 0, model_refresh: bool = True) -> None:
+        if not 0.0 <= row_hit_rate <= 1.0:
+            raise ConfigurationError("row_hit_rate must be in [0, 1]")
+        self.timing = timing
+        self.row_hit_rate = row_hit_rate
+        self.seed = seed
+        self.model_refresh = model_refresh
+
+    def service_time_ns(self, row_hit: bool) -> float:
+        """Channel occupancy of one request.
+
+        A hit occupies the data burst plus a command slot; a miss adds
+        the PRE and ACT command slots (their latencies overlap other
+        banks' work, but the command bus slots and the burst do not).
+        """
+        timing = self.timing
+        slots = 1 if row_hit else 3
+        return timing.tBL + slots * timing.clock_ns
+
+    def refresh_busy_times(self, duration_ns: float) -> np.ndarray:
+        """Start times of the periodic refresh occupancy windows."""
+        if not self.model_refresh:
+            return np.zeros(0)
+        return np.arange(self.timing.tREFI, duration_ns, self.timing.tREFI)
+
+    def simulate(self, arrivals_ns: np.ndarray,
+                 duration_ns: float) -> ChannelActivity:
+        """Service an arrival stream; return the busy-interval structure."""
+        arrivals = np.sort(np.asarray(arrivals_ns, dtype=np.float64))
+        gen = generator_for(self.seed, "row-hits", arrivals.size)
+        hits = gen.random(arrivals.size) < self.row_hit_rate
+        # Merge demand requests and refresh events into one time-ordered
+        # stream of (arrival, service_time) work items.
+        work = [(float(t), self.service_time_ns(bool(h)))
+                for t, h in zip(arrivals, hits)]
+        work += [(float(t), self.timing.tRFC)
+                 for t in self.refresh_busy_times(duration_ns)]
+        work.sort()
+
+        intervals: List[Tuple[float, float]] = []
+        channel_free = 0.0
+        for arrival, service in work:
+            start = max(arrival, channel_free)
+            end = start + service
+            if intervals and start <= intervals[-1][1] + 1e-9:
+                intervals[-1] = (intervals[-1][0], end)
+            else:
+                intervals.append((start, end))
+            channel_free = end
+        clipped = [(s, min(e, duration_ns)) for s, e in intervals
+                   if s < duration_ns]
+        return ChannelActivity(duration_ns=duration_ns,
+                               busy_intervals=clipped)

@@ -1,0 +1,112 @@
+"""Injecting QUAC-TRNG iterations into channel idle time (Section 7.3).
+
+The memory controller opportunistically issues TRNG command sequences
+whenever the channel is idle, yielding to demand traffic.  An
+interrupted iteration must re-initialize its segment before continuing
+(the sense amplifiers lose the QUAC state once demand requests close the
+bank), so every idle gap pays a fixed *restart overhead* before it
+contributes useful TRNG time.
+
+Throughput per workload is then
+
+    usable_idle_fraction x peak_trng_throughput x channels
+
+which reproduces Figure 12's shape: memory-intensive workloads (mcf,
+lbm, libquantum) fragment idleness into gaps comparable to the restart
+overhead and keep little TRNG throughput; compute-bound workloads
+(namd, gromacs) leave near-peak headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.dram.timing import TimingParameters
+from repro.errors import ConfigurationError
+from repro.system.channel import ChannelActivity, ChannelSimulator
+from repro.system.traces import (N_CHANNELS, SPEC2006_WORKLOADS,
+                                 WorkloadSpec, generate_arrivals)
+
+#: Cost of (re)entering TRNG generation after demand traffic: segment
+#: re-initialization plus the QUAC command trio (~ the RowClone init
+#: latency of Section 7.2).
+DEFAULT_RESTART_OVERHEAD_NS = 250.0
+
+
+@dataclass(frozen=True)
+class WorkloadTrngResult:
+    """One bar of Figure 12."""
+
+    workload: str
+    channel_utilization: float
+    idle_fraction: float
+    usable_idle_fraction: float
+    trng_throughput_gbps: float
+
+
+class IdleTrngInjector:
+    """Measures TRNG throughput available in a workload's idle time."""
+
+    def __init__(self, timing: TimingParameters,
+                 peak_trng_gbps_per_channel: float,
+                 restart_overhead_ns: float = DEFAULT_RESTART_OVERHEAD_NS,
+                 channels: int = N_CHANNELS) -> None:
+        if peak_trng_gbps_per_channel <= 0:
+            raise ConfigurationError("peak TRNG throughput must be positive")
+        self.timing = timing
+        self.peak_gbps = peak_trng_gbps_per_channel
+        self.restart_overhead_ns = restart_overhead_ns
+        self.channels = channels
+
+    def usable_idle_ns(self, activity: ChannelActivity) -> float:
+        """Idle time remaining after each gap pays the restart overhead."""
+        gaps = activity.idle_gap_lengths()
+        usable = gaps - self.restart_overhead_ns
+        return float(usable[usable > 0].sum())
+
+    def evaluate_activity(self, workload_name: str,
+                          activity: ChannelActivity) -> WorkloadTrngResult:
+        """TRNG throughput given a channel's busy/idle structure."""
+        usable = self.usable_idle_ns(activity)
+        usable_fraction = usable / activity.duration_ns
+        return WorkloadTrngResult(
+            workload=workload_name,
+            channel_utilization=activity.utilization(),
+            idle_fraction=1.0 - activity.utilization(),
+            usable_idle_fraction=usable_fraction,
+            trng_throughput_gbps=(usable_fraction * self.peak_gbps *
+                                  self.channels),
+        )
+
+    def evaluate_workload(self, workload: WorkloadSpec,
+                          duration_ns: float = 2e6,
+                          seed: int = 0) -> WorkloadTrngResult:
+        """Synthesize, simulate and evaluate one workload."""
+        arrivals = generate_arrivals(workload, duration_ns, seed)
+        simulator = ChannelSimulator(self.timing, workload.row_hit_rate,
+                                     seed)
+        activity = simulator.simulate(arrivals, duration_ns)
+        return self.evaluate_activity(workload.name, activity)
+
+    def evaluate_all(self, duration_ns: float = 2e6, seed: int = 0,
+                     workloads: Optional[List[WorkloadSpec]] = None
+                     ) -> List[WorkloadTrngResult]:
+        """The full Figure 12 sweep, plus the Average bar."""
+        specs = workloads or SPEC2006_WORKLOADS
+        results = [self.evaluate_workload(w, duration_ns, seed)
+                   for w in specs]
+        average = WorkloadTrngResult(
+            workload="Average",
+            channel_utilization=float(np.mean(
+                [r.channel_utilization for r in results])),
+            idle_fraction=float(np.mean(
+                [r.idle_fraction for r in results])),
+            usable_idle_fraction=float(np.mean(
+                [r.usable_idle_fraction for r in results])),
+            trng_throughput_gbps=float(np.mean(
+                [r.trng_throughput_gbps for r in results])),
+        )
+        return results + [average]

@@ -1,0 +1,84 @@
+"""Unit helpers used throughout the library.
+
+Internally the library uses a single convention:
+
+* time        -- nanoseconds (``float``)
+* frequency   -- megatransfers per second (``int``, e.g. ``2400`` MT/s)
+* throughput  -- bits per second (``float``); helpers convert to Gb/s
+* capacity    -- bits unless a name says otherwise
+
+These helpers exist so that conversion factors are written once, are
+greppable, and carry their meaning in their names.
+"""
+
+from __future__ import annotations
+
+#: Nanoseconds per second.
+NS_PER_S = 1e9
+
+#: Bits per gigabit (decimal, as used for data-rate marketing and by the paper).
+BITS_PER_GBIT = 1e9
+
+#: Bits per megabit.
+BITS_PER_MBIT = 1e6
+
+#: Bits in one byte.
+BITS_PER_BYTE = 8
+
+#: Bytes per kibibyte / mebibyte / gibibyte (binary, used for DRAM capacity).
+BYTES_PER_KIB = 1024
+BYTES_PER_MIB = 1024 ** 2
+BYTES_PER_GIB = 1024 ** 3
+
+
+def ns_to_s(nanoseconds: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return nanoseconds / NS_PER_S
+
+
+def s_to_ns(seconds: float) -> float:
+    """Convert seconds to nanoseconds."""
+    return seconds * NS_PER_S
+
+
+def bits_per_ns_to_gbps(bits: float, latency_ns: float) -> float:
+    """Throughput in Gb/s of ``bits`` bits produced every ``latency_ns`` ns.
+
+    This is the paper's throughput formula
+    ``(256 x SIB) / (L x 1e-9)`` expressed generically
+    (Section 7.2), divided by 1e9 to express the result in Gb/s.
+    """
+    if latency_ns <= 0:
+        raise ValueError(f"latency must be positive, got {latency_ns} ns")
+    return (bits / ns_to_s(latency_ns)) / BITS_PER_GBIT
+
+
+def gbps(bits_per_second: float) -> float:
+    """Convert a rate in bits/s to Gb/s."""
+    return bits_per_second / BITS_PER_GBIT
+
+
+def mbps(bits_per_second: float) -> float:
+    """Convert a rate in bits/s to Mb/s."""
+    return bits_per_second / BITS_PER_MBIT
+
+
+def transfer_period_ns(transfer_rate_mts: float) -> float:
+    """Duration of a single data-bus transfer (one beat) in nanoseconds.
+
+    A DDR bus moving ``transfer_rate_mts`` megatransfers per second
+    completes one transfer every ``1e3 / rate`` nanoseconds; e.g. 0.4167 ns
+    at DDR4-2400.
+    """
+    if transfer_rate_mts <= 0:
+        raise ValueError(f"transfer rate must be positive, got {transfer_rate_mts}")
+    return 1e3 / transfer_rate_mts
+
+
+def burst_duration_ns(transfer_rate_mts: float, burst_length: int = 8) -> float:
+    """Time to move one burst (default BL8) on the data bus, in ns.
+
+    DDR4 moves one 64-byte cache block as a burst of eight 64-bit beats,
+    taking 4 bus clock cycles = 8 transfer periods (3.33 ns at 2400 MT/s).
+    """
+    return burst_length * transfer_period_ns(transfer_rate_mts)

@@ -1,0 +1,140 @@
+"""Baseline TRNG models vs the paper's Table 2 / Figure 13."""
+
+import pytest
+
+from repro.baselines import (DPuf, DRange, DRangeMode, KellerTrng, PyoTrng,
+                             StartupDrng, Talukder, TalukderMode)
+from repro.dram.timing import FIGURE13_RATES, speed_grade
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def t2400():
+    return speed_grade(2400)
+
+
+class TestDRange:
+    def test_basic_throughput_near_paper(self, t2400):
+        # Paper: 0.92 Gb/s on the 4-channel system.
+        value = DRange(DRangeMode.BASIC).throughput_gbps_system(t2400)
+        assert value == pytest.approx(0.92, rel=0.4)
+
+    def test_enhanced_throughput_near_paper(self, t2400):
+        # Paper: 9.73 Gb/s.
+        value = DRange(DRangeMode.ENHANCED).throughput_gbps_system(t2400)
+        assert value == pytest.approx(9.73, rel=0.4)
+
+    def test_enhanced_latency_near_paper(self, t2400):
+        # Paper: 36 ns.
+        value = DRange(DRangeMode.ENHANCED).latency_256_ns(t2400)
+        assert value == pytest.approx(36.0, rel=0.5)
+
+    def test_basic_latency_near_paper(self, t2400):
+        # Paper: 260 ns (64 reads at tRRD pace).
+        value = DRange(DRangeMode.BASIC).latency_256_ns(t2400)
+        assert value == pytest.approx(260.0, rel=0.25)
+
+    def test_latency_bound_no_bandwidth_scaling(self):
+        drange = DRange(DRangeMode.ENHANCED)
+        curve = drange.scaling_curve(FIGURE13_RATES)
+        # The paper's first Figure 13 observation: flat.
+        assert curve[-1] / curve[0] < 1.2
+
+    def test_rejects_nonpositive_entropy(self):
+        with pytest.raises(ConfigurationError):
+            DRange(DRangeMode.ENHANCED, entropy_per_read=0.0)
+
+
+class TestTalukder:
+    def test_basic_throughput_near_paper(self, t2400):
+        # Paper: 0.68 Gb/s.
+        value = Talukder(TalukderMode.BASIC).throughput_gbps_system(t2400)
+        assert value == pytest.approx(0.68, rel=0.4)
+
+    def test_enhanced_throughput_near_paper(self, t2400):
+        # Paper: 6.13 Gb/s.
+        value = Talukder(
+            TalukderMode.ENHANCED).throughput_gbps_system(t2400)
+        assert value == pytest.approx(6.13, rel=0.35)
+
+    def test_enhanced_latency_near_paper(self, t2400):
+        # Paper: 201 ns.  Our single-bank read-out paces at tCCD_L where
+        # the paper's hand schedule apparently assumes tCCD_S, so we land
+        # ~1.7x high; the Table 2 ordering (QUAC > Talukder+ > D-RaNGe)
+        # is what must hold.
+        value = Talukder(TalukderMode.ENHANCED).latency_256_ns(t2400)
+        assert value == pytest.approx(201.0, rel=0.8)
+        assert value > DRange(DRangeMode.ENHANCED).latency_256_ns(t2400)
+
+    def test_bandwidth_bound_scales(self):
+        curve = Talukder(TalukderMode.ENHANCED).scaling_curve(
+            FIGURE13_RATES)
+        # The paper's second Figure 13 observation: strong scaling.
+        assert curve[-1] / curve[0] > 2.5
+
+    def test_enhanced_beats_basic(self, t2400):
+        assert Talukder(TalukderMode.ENHANCED).throughput_gbps_system(
+            t2400) > Talukder(TalukderMode.BASIC).throughput_gbps_system(
+            t2400)
+
+
+class TestLowThroughputBaselines:
+    def test_dpuf_full_dram_near_paper(self, t2400):
+        # Paper: 0.20 Mb/s with all DRAM harvesting.
+        value = DPuf().throughput_gbps_system(t2400) * 1e3
+        assert value == pytest.approx(0.20, rel=0.2)
+
+    def test_dpuf_one_percent_near_paper(self, t2400):
+        # Paper: 0.002 Mb/s with 1% of DRAM.
+        value = DPuf(dram_fraction=0.01).throughput_gbps_system(t2400) * 1e3
+        assert value == pytest.approx(0.002, rel=0.3)
+
+    def test_dpuf_entropy_operating_point_holds(self):
+        assert DPuf().entropy_is_sufficient()
+
+    def test_dpuf_latency_is_pause(self, t2400):
+        assert DPuf().latency_256_ns(t2400) == pytest.approx(40e9)
+
+    def test_keller_near_paper(self, t2400):
+        # Paper: 0.025 Mb/s.
+        value = KellerTrng().throughput_gbps_system(t2400) * 1e3
+        assert value == pytest.approx(0.025, rel=0.5)
+
+    def test_keller_entropy_operating_point_holds(self):
+        assert KellerTrng().entropy_is_sufficient()
+
+    def test_keller_latency(self, t2400):
+        assert KellerTrng().latency_256_ns(t2400) == pytest.approx(320e9)
+
+    def test_pyo_near_paper(self, t2400):
+        # Paper: 2.17 Mb/s peak, 112.5 us latency.
+        pyo = PyoTrng()
+        assert pyo.throughput_gbps_system(t2400) * 1e3 == pytest.approx(
+            2.17, rel=0.1)
+        assert pyo.latency_256_ns(t2400) == pytest.approx(112500.0)
+
+    def test_drng_cannot_stream(self, t2400, small_geometry):
+        drng = StartupDrng(small_geometry)
+        assert not drng.streaming
+        assert drng.throughput_gbps_per_channel(t2400) == 0.0
+        assert drng.latency_256_ns(t2400) == pytest.approx(700_000.0)
+        assert drng.bits_per_power_cycle() > 256
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DPuf(dram_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            KellerTrng(concurrency_fraction=2.0)
+
+
+class TestReports:
+    def test_report_rendering(self, t2400):
+        report = DRange(DRangeMode.ENHANCED).report(t2400)
+        row = report.as_row()
+        assert "D-RaNGe-Enhanced" in row
+        assert "Gb/s" in row
+
+    def test_low_throughput_rendered_in_mbps(self, t2400):
+        row = DPuf().report(t2400).as_row()
+        assert "Mb/s" in row
+        assert "s" in row  # latency in seconds

@@ -1,0 +1,58 @@
+"""Shared fixtures: small-geometry modules reused across the suite.
+
+Expensive objects (calibrated modules) are session-scoped; tests must
+not mutate them except through the documented temperature/age knobs,
+which they must restore.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.module_factory import build_module, spec_by_name
+from repro.dram.timing import speed_grade
+
+
+@pytest.fixture(scope="session")
+def small_geometry() -> DramGeometry:
+    """The suite's standard reduced geometry (64 segments, 8 blocks)."""
+    return DramGeometry.small(segments_per_bank=64, cache_blocks_per_row=8)
+
+
+@pytest.fixture(scope="session")
+def timing():
+    """DDR4-2400, the paper's reference speed grade."""
+    return speed_grade(2400)
+
+
+@pytest.fixture(scope="session")
+def module_m4(small_geometry):
+    """Module M4 at small geometry (calibrated once per session)."""
+    return build_module(spec_by_name("M4"), small_geometry)
+
+
+@pytest.fixture(scope="session")
+def module_m13(small_geometry):
+    """Module M13 (highest-entropy module) at small geometry."""
+    return build_module(spec_by_name("M13"), small_geometry)
+
+
+@pytest.fixture()
+def fresh_module(small_geometry):
+    """A module safe to mutate (fresh per test)."""
+    return build_module(spec_by_name("M6"), small_geometry)
+
+
+@pytest.fixture(scope="session")
+def random_bits_1mb() -> np.ndarray:
+    """A fixed 2^20-bit pseudo-random reference stream."""
+    rng = np.random.default_rng(20210625)
+    return rng.integers(0, 2, 2 ** 20).astype(np.uint8)
+
+
+@pytest.fixture(scope="session")
+def entropy_scale(small_geometry) -> float:
+    """Row-width ratio of the small geometry vs full scale."""
+    return small_geometry.row_bits / 65536

@@ -1,0 +1,161 @@
+"""RowClone copy programs, the output buffer, the controller facade."""
+
+import numpy as np
+import pytest
+
+from repro.controller.buffer import RandomNumberBuffer
+from repro.controller.memory_controller import MemoryController
+from repro.controller.rowclone import (ROWCLONE_COPIES_PER_SEGMENT,
+                                       check_rowclone_pattern,
+                                       reserved_rows_for,
+                                       rowclone_copy_latency_ns,
+                                       rowclone_copy_program,
+                                       rowclone_segment_init_program,
+                                       segment_init_latency_ns)
+from repro.errors import (ConfigurationError, InsufficientEntropyError)
+from repro.softmc.host import SoftMcHost
+
+
+class TestCopyProgram:
+    def test_latency_formula(self, timing):
+        program = rowclone_copy_program(timing, 0, 0, 4, 0)
+        assert program.duration_ns() == pytest.approx(
+            rowclone_copy_latency_ns(timing))
+
+    def test_functional_copy(self, fresh_module):
+        geo = fresh_module.geometry
+        data = np.ones(geo.row_bits, dtype=np.uint8)
+        fresh_module.write_row(0, 0, 8, data)     # src: segment 2, pos 0
+        host = SoftMcHost(fresh_module)
+        host.execute(rowclone_copy_program(fresh_module.timing, 0, 0,
+                                           src_row=8, dst_row=4))
+        np.testing.assert_array_equal(
+            fresh_module.read_stored_row(0, 0, 4), data)
+
+
+class TestSegmentInit:
+    def test_pattern_validation(self):
+        assert check_rowclone_pattern("0111") == ("0", "1")
+        assert check_rowclone_pattern("1000") == ("1", "0")
+        with pytest.raises(ConfigurationError):
+            check_rowclone_pattern("0101")
+        with pytest.raises(ConfigurationError):
+            check_rowclone_pattern("01x1")
+
+    def test_reserved_rows_adjacent(self, small_geometry):
+        addr = small_geometry.segment_address(0, 0, 5)
+        fixup, bulk = reserved_rows_for(addr, small_geometry)
+        assert fixup == 24 and bulk == 25
+
+    def test_reserved_rows_out_of_range(self, small_geometry):
+        last = small_geometry.segments_per_bank - 1
+        addr = small_geometry.segment_address(0, 0, last)
+        with pytest.raises(ConfigurationError):
+            reserved_rows_for(addr, small_geometry)
+
+    def test_four_copies(self, fresh_module, small_geometry):
+        addr = small_geometry.segment_address(0, 0, 5)
+        program = rowclone_segment_init_program(
+            small_geometry, fresh_module.timing, addr, "0111")
+        acts = [i for i in program.instructions if i.kind.value == "ACT"]
+        assert len(acts) == 2 * ROWCLONE_COPIES_PER_SEGMENT
+        assert program.duration_ns() == pytest.approx(
+            segment_init_latency_ns(fresh_module.timing))
+
+    def test_functional_init_0111(self, fresh_module, small_geometry):
+        geo = small_geometry
+        addr = geo.segment_address(0, 0, 5)
+        fixup, bulk = reserved_rows_for(addr, geo)
+        fresh_module.write_row(0, 0, fixup,
+                               np.zeros(geo.row_bits, dtype=np.uint8))
+        fresh_module.write_row(0, 0, bulk,
+                               np.ones(geo.row_bits, dtype=np.uint8))
+        host = SoftMcHost(fresh_module)
+        host.execute(rowclone_segment_init_program(
+            geo, fresh_module.timing, addr, "0111"))
+        for offset, expected in enumerate("0111"):
+            row = fresh_module.read_stored_row(0, 0, 20 + offset)
+            assert (row == int(expected)).all(), f"row {offset}"
+
+    def test_functional_init_1000(self, fresh_module, small_geometry):
+        geo = small_geometry
+        addr = geo.segment_address(1, 0, 5)
+        fixup, bulk = reserved_rows_for(addr, geo)
+        fresh_module.write_row(1, 0, fixup,
+                               np.ones(geo.row_bits, dtype=np.uint8))
+        fresh_module.write_row(1, 0, bulk,
+                               np.zeros(geo.row_bits, dtype=np.uint8))
+        host = SoftMcHost(fresh_module)
+        host.execute(rowclone_segment_init_program(
+            geo, fresh_module.timing, addr, "1000"))
+        for offset, expected in enumerate("1000"):
+            row = fresh_module.read_stored_row(1, 0, 20 + offset)
+            assert (row == int(expected)).all(), f"row {offset}"
+
+
+class TestBuffer:
+    def test_fill_and_request(self):
+        buffer = RandomNumberBuffer(capacity_bits=64)
+        buffer.fill(np.ones(32, dtype=np.uint8))
+        out = buffer.request(16)
+        assert out.size == 16
+        assert buffer.occupancy == 16
+
+    def test_fifo_order(self):
+        buffer = RandomNumberBuffer(capacity_bits=8)
+        buffer.fill(np.array([1, 0, 1, 1], dtype=np.uint8))
+        assert buffer.request(2).tolist() == [1, 0]
+        assert buffer.request(2).tolist() == [1, 1]
+
+    def test_overflow_dropped_and_counted(self):
+        buffer = RandomNumberBuffer(capacity_bits=10)
+        stored = buffer.fill(np.ones(25, dtype=np.uint8))
+        assert stored == 10
+        assert buffer.overflow_dropped == 15
+
+    def test_underflow_raises(self):
+        buffer = RandomNumberBuffer(capacity_bits=10)
+        with pytest.raises(InsufficientEntropyError):
+            buffer.request(5)
+        assert buffer.underflow_requests == 1
+
+    def test_try_request(self):
+        buffer = RandomNumberBuffer(capacity_bits=10)
+        assert buffer.try_request(5) is None
+        buffer.fill(np.ones(5, dtype=np.uint8))
+        assert buffer.try_request(5) is not None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ConfigurationError):
+            RandomNumberBuffer(capacity_bits=0)
+
+
+class TestMemoryController:
+    def _source(self, n=64, latency=100.0):
+        rng = np.random.default_rng(4)
+
+        def source():
+            return rng.integers(0, 2, n).astype(np.uint8), latency
+
+        return source
+
+    def test_refill_until_full(self, fresh_module):
+        controller = MemoryController(fresh_module,
+                                      buffer_capacity_bits=256)
+        deposited = controller.refill(self._source())
+        assert deposited == 256
+        assert controller.buffer.occupancy == 256
+
+    def test_refill_respects_budget(self, fresh_module):
+        controller = MemoryController(fresh_module,
+                                      buffer_capacity_bits=10000)
+        controller.refill(self._source(latency=100.0), budget_ns=350.0)
+        # Three 100 ns iterations fit in a 350 ns budget.
+        assert controller.buffer.occupancy == 3 * 64
+        assert controller.trng_time_ns == pytest.approx(300.0)
+
+    def test_random_bits_generates_on_demand(self, fresh_module):
+        controller = MemoryController(fresh_module,
+                                      buffer_capacity_bits=4096)
+        out = controller.random_bits(100, self._source())
+        assert out.size == 100

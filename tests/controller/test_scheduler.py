@@ -1,0 +1,122 @@
+"""The earliest-legal-time DDR4 command scheduler."""
+
+import pytest
+
+from repro.controller.scheduler import CommandScheduler
+from repro.dram.commands import CommandKind
+from repro.dram.timing import speed_grade
+from repro.errors import ProtocolError
+
+
+@pytest.fixture()
+def scheduler(timing):
+    return CommandScheduler(timing)
+
+
+class TestSameBankConstraints:
+    def test_act_to_read_respects_trcd(self, scheduler, timing):
+        act = scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        rd = scheduler.schedule(CommandKind.RD, 0, 0, column=0)
+        assert rd.time_ns - act.time_ns >= timing.tRCD - 1e-9
+
+    def test_act_to_pre_respects_tras(self, scheduler, timing):
+        act = scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        pre = scheduler.schedule(CommandKind.PRE, 0, 0)
+        assert pre.time_ns - act.time_ns >= timing.tRAS - 1e-9
+
+    def test_pre_to_act_respects_trp(self, scheduler, timing):
+        scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        pre = scheduler.schedule(CommandKind.PRE, 0, 0)
+        act = scheduler.schedule(CommandKind.ACT, 0, 0, row=4)
+        assert act.time_ns - pre.time_ns >= timing.tRP - 1e-9
+
+    def test_write_recovery_before_pre(self, scheduler, timing):
+        scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        wr = scheduler.schedule(CommandKind.WR, 0, 0, column=0)
+        pre = scheduler.schedule(CommandKind.PRE, 0, 0)
+        burst_end = wr.time_ns + timing.tCWL + timing.tBL
+        assert pre.time_ns >= burst_end + timing.tWR - 1e-9
+
+    def test_column_without_act_raises(self, scheduler):
+        with pytest.raises(ProtocolError):
+            scheduler.schedule(CommandKind.RD, 0, 0, column=0)
+
+
+class TestCrossBankConstraints:
+    def test_trrd_short_across_groups(self, scheduler, timing):
+        a = scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        b = scheduler.schedule(CommandKind.ACT, 1, 0, row=0)
+        gap = b.time_ns - a.time_ns
+        assert gap >= timing.tRRD_S - 1e-9
+        assert gap < timing.tRRD_L
+
+    def test_trrd_long_within_group(self, scheduler, timing):
+        a = scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        b = scheduler.schedule(CommandKind.ACT, 0, 1, row=0)
+        assert b.time_ns - a.time_ns >= timing.tRRD_L - 1e-9
+
+    def test_tfaw_limits_fifth_activate(self, scheduler, timing):
+        times = []
+        for group in range(4):
+            times.append(scheduler.schedule(CommandKind.ACT, group, 0,
+                                            row=0).time_ns)
+        fifth = scheduler.schedule(CommandKind.ACT, 0, 1, row=0)
+        assert fifth.time_ns - times[0] >= timing.tFAW - 1e-9
+
+    def test_data_bus_serializes_reads(self, scheduler, timing):
+        for group in range(2):
+            scheduler.schedule(CommandKind.ACT, group, 0, row=0)
+        first = scheduler.schedule(CommandKind.RD, 0, 0, column=0)
+        second = scheduler.schedule(CommandKind.RD, 1, 0, column=0)
+        assert second.time_ns - first.time_ns >= \
+            min(timing.tCCD_S, timing.tBL) - 1e-9
+
+    def test_makespan_includes_final_burst(self, scheduler, timing):
+        scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        scheduler.schedule(CommandKind.RD, 0, 0, column=0)
+        assert scheduler.makespan_ns() >= timing.tRCD + timing.tCL + \
+            timing.tBL - 1e-9
+
+
+class TestOverrides:
+    def test_quac_pre_override(self, scheduler, timing):
+        act = scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        pre = scheduler.schedule(CommandKind.PRE, 0, 0,
+                                 overrides={"tRAS": 2.5, "tWR": None})
+        assert pre.time_ns - act.time_ns == pytest.approx(
+            max(2.5, timing.clock_ns), abs=1.0)
+
+    def test_quac_act_override(self, scheduler):
+        scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        pre = scheduler.schedule(CommandKind.PRE, 0, 0,
+                                 overrides={"tRAS": 2.5})
+        act = scheduler.schedule(CommandKind.ACT, 0, 0, row=3,
+                                 overrides={"tRP": 2.5, "tRC": None})
+        assert act.time_ns - pre.time_ns == pytest.approx(2.5, abs=1.0)
+
+    def test_override_does_not_relax_cross_bank(self, scheduler, timing):
+        scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        second = scheduler.schedule(CommandKind.ACT, 1, 0, row=0,
+                                    overrides={"tRP": None, "tRC": None})
+        assert second.time_ns >= timing.tRRD_S - 1e-9
+
+
+class TestScheduleAt:
+    def test_exact_placement(self, scheduler):
+        scheduler.schedule_at(CommandKind.ACT, 0, 0, 100.0, row=0)
+        assert scheduler.trace[0].time_ns == 100.0
+
+    def test_bus_order_enforced(self, scheduler):
+        scheduler.schedule_at(CommandKind.ACT, 0, 0, 100.0, row=0)
+        with pytest.raises(ProtocolError):
+            scheduler.schedule_at(CommandKind.PRE, 0, 0, 50.0)
+
+
+class TestCommandBus:
+    def test_commands_never_share_a_slot(self, scheduler, timing):
+        scheduler.schedule(CommandKind.ACT, 0, 0, row=0)
+        scheduler.schedule(CommandKind.ACT, 1, 0, row=0)
+        scheduler.schedule(CommandKind.ACT, 2, 0, row=0)
+        times = [c.time_ns for c in scheduler.trace]
+        for earlier, later in zip(times, times[1:]):
+            assert later - earlier >= timing.clock_ns - 1e-9

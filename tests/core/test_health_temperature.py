@@ -1,0 +1,156 @@
+"""Online health tests and the runtime temperature manager."""
+
+import numpy as np
+import pytest
+
+from repro.core.health import (HealthMonitor, HealthTestFailure,
+                               MonitoredTrng, adaptive_proportion_cutoff,
+                               repetition_count_cutoff)
+from repro.core.temperature_manager import (DEFAULT_RANGES,
+                                            TemperatureManagedTrng)
+from repro.core.trng import QuacTrng
+from repro.errors import ConfigurationError
+
+
+class TestCutoffs:
+    def test_rct_cutoff_formula(self):
+        # H = 1 bit/sample -> C = 21 at alpha = 2^-20 (the 90B example).
+        assert repetition_count_cutoff(1.0) == 21
+
+    def test_rct_cutoff_grows_for_weak_sources(self):
+        assert repetition_count_cutoff(0.02) > \
+            repetition_count_cutoff(0.5)
+
+    def test_rct_rejects_nonpositive_entropy(self):
+        with pytest.raises(ConfigurationError):
+            repetition_count_cutoff(0.0)
+
+    def test_apt_cutoff_bounds(self):
+        cutoff = adaptive_proportion_cutoff(1.0, window=512)
+        # A full-entropy binary source: cutoff near but below the
+        # window, above the mean (256).
+        assert 256 < cutoff <= 512
+
+    def test_apt_cutoff_looser_for_weak_sources(self):
+        assert adaptive_proportion_cutoff(0.1, 512) > \
+            adaptive_proportion_cutoff(0.9, 512)
+
+
+class TestHealthMonitor:
+    def test_healthy_source_passes(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9)
+        rng = np.random.default_rng(15)
+        for _ in range(5):
+            assert monitor.check(rng.integers(0, 2, 4096).astype(np.uint8))
+        assert monitor.rct_failures == 0
+        assert monitor.apt_failures == 0
+
+    def test_stuck_source_alarms(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9,
+                                consecutive_failures_to_alarm=2)
+        stuck = np.ones(4096, dtype=np.uint8)
+        assert monitor.check(stuck) is False
+        with pytest.raises(HealthTestFailure):
+            monitor.check(stuck)
+
+    def test_single_failure_does_not_alarm(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9,
+                                consecutive_failures_to_alarm=2)
+        rng = np.random.default_rng(16)
+        assert monitor.check(np.ones(4096, dtype=np.uint8)) is False
+        # A healthy block resets the streak.
+        assert monitor.check(rng.integers(0, 2, 4096).astype(np.uint8))
+        assert monitor.check(np.ones(4096, dtype=np.uint8)) is False
+
+    def test_biased_window_trips_apt(self):
+        monitor = HealthMonitor(claimed_min_entropy=0.9, window=512,
+                                consecutive_failures_to_alarm=10)
+        rng = np.random.default_rng(17)
+        biased = (rng.random(4096) < 0.95).astype(np.uint8)
+        monitor.check(biased)
+        assert monitor.apt_failures >= 1
+
+
+class TestMonitoredTrng:
+    def test_healthy_quac_source_generates(self, module_m13,
+                                           entropy_scale):
+        trng = QuacTrng(module_m13,
+                        entropy_per_block=256.0 * entropy_scale)
+        # Credit the raw segment with its conservative per-bit
+        # min-entropy (total entropy / row bits).
+        monitored = MonitoredTrng(trng, HealthMonitor(
+            claimed_min_entropy=0.01))
+        stream = monitored.random_bits(5000)
+        assert stream.size == 5000
+        assert monitored.monitor.samples_checked > 0
+        assert monitored.monitor.rct_failures == 0
+
+    def test_dead_segment_is_caught(self, fresh_module, small_geometry):
+        # Sabotage: a TRNG whose segment went deterministic (uniform
+        # pattern -> no conflict -> no metastability).
+        scale = small_geometry.row_bits / 65536
+        trng = QuacTrng(fresh_module, entropy_per_block=256.0 * scale)
+        trng.data_pattern = "1111"      # post-characterization drift
+        monitored = MonitoredTrng(trng, HealthMonitor(
+            claimed_min_entropy=0.01, consecutive_failures_to_alarm=2))
+        with pytest.raises(HealthTestFailure):
+            monitored.random_bits(50000)
+
+
+class TestTemperatureManager:
+    @pytest.fixture(scope="class")
+    def managed(self, module_m13, entropy_scale):
+        return TemperatureManagedTrng(
+            module_m13, entropy_per_block=256.0 * entropy_scale)
+
+    def test_one_characterization_pass_at_setup(self, managed):
+        assert managed.characterization_passes == 1
+        assert len(managed.ranges) == len(DEFAULT_RANGES)
+
+    def test_range_selection_follows_sensor(self, managed, module_m13):
+        module_m13.temperature_c = 50.0
+        low_entry = managed.active_entry()
+        module_m13.temperature_c = 85.0
+        high_entry = managed.active_entry()
+        module_m13.temperature_c = 50.0
+        assert low_entry.low_c != high_entry.low_c
+        # No re-characterization happened: both ranges were stored.
+        assert managed.characterization_passes == 1
+
+    def test_generation_across_a_temperature_swing(self, managed,
+                                                   module_m13):
+        module_m13.temperature_c = 50.0
+        cold = managed.random_bits(4000)
+        module_m13.temperature_c = 80.0
+        hot = managed.random_bits(4000)
+        module_m13.temperature_c = 50.0
+        assert abs(cold.mean() - 0.5) < 0.05
+        assert abs(hot.mean() - 0.5) < 0.05
+
+    def test_out_of_envelope_triggers_recharacterization(
+            self, module_m13, entropy_scale):
+        managed = TemperatureManagedTrng(
+            module_m13, ranges=[(45.0, 60.0)],
+            entropy_per_block=256.0 * entropy_scale)
+        module_m13.temperature_c = 70.0
+        try:
+            entry = managed.active_entry()
+            assert entry.covers(70.0)
+            assert managed.characterization_passes == 2
+        finally:
+            module_m13.temperature_c = 50.0
+
+    def test_overlapping_ranges_rejected(self, module_m13, entropy_scale):
+        with pytest.raises(ConfigurationError):
+            TemperatureManagedTrng(
+                module_m13, ranges=[(40.0, 60.0), (55.0, 70.0)],
+                entropy_per_block=256.0 * entropy_scale)
+
+    def test_empty_ranges_rejected(self, module_m13, entropy_scale):
+        with pytest.raises(ConfigurationError):
+            TemperatureManagedTrng(module_m13, ranges=[],
+                                   entropy_per_block=256.0 * entropy_scale)
+
+    def test_stored_entries_accounting(self, managed):
+        assert managed.stored_column_entries() == sum(
+            sum(e.trng.sib_per_bank) for e in managed._entries)

@@ -1,0 +1,69 @@
+"""The 4-channel system TRNG."""
+
+import numpy as np
+import pytest
+
+from repro.core.multichannel import SystemTrng, reference_system
+from repro.dram.module_factory import build_table3_population
+from repro.errors import ConfigurationError, InsufficientEntropyError
+
+
+@pytest.fixture(scope="module")
+def system(small_geometry, entropy_scale):
+    modules = build_table3_population(small_geometry,
+                                      names=["M13", "M4", "M15", "M1"])
+    return SystemTrng(modules, entropy_per_block=256.0 * entropy_scale)
+
+
+class TestSystemTrng:
+    def test_four_channels(self, system):
+        assert system.n_channels == 4
+
+    def test_system_throughput_is_channel_sum(self, system):
+        assert system.system_throughput_gbps() == pytest.approx(
+            sum(t.throughput_gbps() for t in system.channels))
+
+    def test_bits_per_system_iteration(self, system):
+        assert system.bits_per_system_iteration() == \
+            sum(t.bits_per_iteration for t in system.channels)
+
+    def test_worst_channel_gates_latency(self, system):
+        worst = system.worst_channel_latency_ns()
+        assert all(t.iteration_latency_ns <= worst
+                   for t in system.channels)
+
+    def test_random_bits_round_robin(self, system):
+        out = system.random_bits(10_000)
+        assert out.size == 10_000
+        assert abs(out.mean() - 0.5) < 0.05
+
+    def test_random_bytes(self, system):
+        assert len(system.random_bytes(64)) == 64
+
+    def test_channels_produce_distinct_streams(self, system):
+        a, _ = system.channels[0].iteration()
+        b, _ = system.channels[1].iteration()
+        n = min(a.size, b.size)
+        assert not np.array_equal(a[:n], b[:n])
+
+    def test_negative_request_rejected(self, system):
+        with pytest.raises(InsufficientEntropyError):
+            system.random_bits(-5)
+
+    def test_empty_system_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemTrng([])
+
+
+class TestReferenceSystem:
+    def test_requires_four_channels(self, module_m4):
+        with pytest.raises(ConfigurationError):
+            reference_system([module_m4])
+
+    def test_small_scale_reference(self, small_geometry, entropy_scale):
+        modules = build_table3_population(
+            small_geometry, names=["M13", "M4", "M15", "M1"])
+        system = reference_system(modules,
+                                  entropy_per_block=256.0 * entropy_scale)
+        assert system.n_channels == 4
+        assert system.system_throughput_gbps() > 0

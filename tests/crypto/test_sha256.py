@@ -1,0 +1,88 @@
+"""From-scratch SHA-256 vs hashlib and FIPS vectors."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.crypto.sha256 import (Sha256, sha256_bits, sha256_digest,
+                                 sha256_stream)
+
+#: FIPS 180-2 test vectors.
+FIPS_VECTORS = {
+    b"": ("e3b0c44298fc1c149afbf4c8996fb924"
+          "27ae41e4649b934ca495991b7852b855"),
+    b"abc": ("ba7816bf8f01cfea414140de5dae2223"
+             "b00361a396177a9cb410ff61f20015ad"),
+    b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq":
+        ("248d6a61d20638b8e5c026930c3e6039"
+         "a33ce45964ff2167f6ecedd419db06c1"),
+}
+
+
+class TestVectors:
+    @pytest.mark.parametrize("message,expected",
+                             list(FIPS_VECTORS.items()),
+                             ids=["empty", "abc", "two-block"])
+    def test_fips_vectors(self, message, expected):
+        assert sha256_digest(message).hex() == expected
+
+    def test_million_a(self):
+        # The classic third FIPS vector.
+        digest = sha256_digest(b"a" * 1_000_000)
+        assert digest.hex() == ("cdc76e5c9914fb9281a1c7e284d73e67"
+                                "f1809a48a497200e046d39ccc7112cd0")
+
+
+class TestAgainstHashlib:
+    @pytest.mark.parametrize("length", [0, 1, 55, 56, 63, 64, 65, 127,
+                                        128, 1000, 4096])
+    def test_matches_hashlib(self, length):
+        rng = np.random.default_rng(length)
+        data = rng.integers(0, 256, length, dtype=np.uint8).tobytes()
+        assert sha256_digest(data) == hashlib.sha256(data).digest()
+
+    def test_incremental_updates(self):
+        ours = Sha256()
+        reference = hashlib.sha256()
+        for chunk in (b"abc", b"", b"x" * 100, b"y" * 63, b"z" * 64):
+            ours.update(chunk)
+            reference.update(chunk)
+        assert ours.digest() == reference.digest()
+
+    def test_digest_does_not_finalize_state(self):
+        ours = Sha256().update(b"hello")
+        first = ours.digest()
+        assert ours.digest() == first
+        ours.update(b" world")
+        assert ours.digest() == hashlib.sha256(b"hello world").digest()
+
+    def test_update_rejects_str(self):
+        with pytest.raises(TypeError):
+            Sha256().update("abc")
+
+    def test_hexdigest(self):
+        assert Sha256().update(b"abc").hexdigest() == FIPS_VECTORS[b"abc"]
+
+
+class TestBitInterface:
+    def test_sha256_bits_shape(self):
+        out = sha256_bits(np.ones(512, dtype=np.uint8))
+        assert out.shape == (256,)
+        assert set(np.unique(out)) <= {0, 1}
+
+    def test_matches_byte_interface(self):
+        bits = np.zeros(16, dtype=np.uint8)
+        bits[0] = 1  # packs to 0x80 0x00
+        expected = hashlib.sha256(b"\x80\x00").digest()
+        packed = np.packbits(sha256_bits(bits)).tobytes()
+        assert packed == expected
+
+    def test_stream_concatenates(self):
+        blocks = [np.zeros(8, dtype=np.uint8), np.ones(8, dtype=np.uint8)]
+        out = sha256_stream(blocks)
+        assert out.shape == (512,)
+        np.testing.assert_array_equal(out[:256], sha256_bits(blocks[0]))
+
+    def test_stream_empty(self):
+        assert sha256_stream([]).size == 0

@@ -1,0 +1,61 @@
+"""Von Neumann corrector."""
+
+import numpy as np
+import pytest
+
+from repro.crypto.von_neumann import expected_yield, von_neumann_correct
+
+
+def bits(text):
+    return np.array([int(c) for c in text], dtype=np.uint8)
+
+
+class TestMapping:
+    def test_paper_example(self):
+        # The paper's worked example: "0010" -> "0".
+        assert von_neumann_correct(bits("0010")).tolist() == [0]
+
+    def test_01_emits_1(self):
+        assert von_neumann_correct(bits("01")).tolist() == [1]
+
+    def test_10_emits_0(self):
+        assert von_neumann_correct(bits("10")).tolist() == [0]
+
+    def test_equal_pairs_discarded(self):
+        assert von_neumann_correct(bits("0011")).size == 0
+
+    def test_odd_trailing_bit_dropped(self):
+        assert von_neumann_correct(bits("011")).tolist() == [1]
+
+    def test_empty_input(self):
+        assert von_neumann_correct(bits("")).size == 0
+
+
+class TestDebiasing:
+    def test_removes_bias(self):
+        rng = np.random.default_rng(8)
+        biased = (rng.random(400_000) < 0.8).astype(np.uint8)
+        corrected = von_neumann_correct(biased)
+        assert corrected.size > 0
+        assert abs(corrected.mean() - 0.5) < 0.01
+
+    def test_yield_matches_theory(self):
+        rng = np.random.default_rng(9)
+        p = 0.7
+        biased = (rng.random(400_000) < p).astype(np.uint8)
+        corrected = von_neumann_correct(biased)
+        measured_yield = corrected.size / biased.size
+        assert measured_yield == pytest.approx(expected_yield(p), rel=0.05)
+
+
+class TestExpectedYield:
+    def test_maximum_at_half(self):
+        assert expected_yield(0.5) == pytest.approx(0.25)
+
+    def test_zero_at_extremes(self):
+        assert expected_yield(0.0) == 0.0
+        assert expected_yield(1.0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            expected_yield(1.5)

@@ -1,0 +1,195 @@
+"""Stateful bank + module behaviour: protocol, QUAC, RowClone copy."""
+
+import numpy as np
+import pytest
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.device import (ALL_DATA_PATTERNS, BEST_DATA_PATTERN,
+                               cells_for_pattern)
+from repro.dram.timing import QUAC_VIOLATION_DELAY_NS
+from repro.errors import BitstreamError, ConfigurationError, ProtocolError
+
+
+def fill_segment(module, bg, bank, segment, pattern):
+    geo = module.geometry
+    for offset, char in enumerate(pattern):
+        module.write_row(bg, bank, segment * 4 + offset,
+                         np.full(geo.row_bits, int(char), dtype=np.uint8))
+
+
+def issue_quac(module, bg, bank, segment, start=0.0):
+    t = start
+    module.issue(Command(CommandKind.ACT, t, bg, bank, row=segment * 4))
+    t += QUAC_VIOLATION_DELAY_NS
+    module.issue(Command(CommandKind.PRE, t, bg, bank))
+    t += QUAC_VIOLATION_DELAY_NS
+    module.issue(Command(CommandKind.ACT, t, bg, bank, row=segment * 4 + 3))
+    return t
+
+
+class TestRowStorage:
+    def test_unwritten_rows_read_zero(self, fresh_module):
+        row = fresh_module.read_stored_row(0, 0, 7)
+        assert (row == 0).all()
+
+    def test_write_read_round_trip(self, fresh_module):
+        geo = fresh_module.geometry
+        data = np.tile(np.array([1, 0], dtype=np.uint8), geo.row_bits // 2)
+        fresh_module.write_row(1, 2, 5, data)
+        np.testing.assert_array_equal(
+            fresh_module.read_stored_row(1, 2, 5), data)
+
+    def test_write_validates_shape(self, fresh_module):
+        with pytest.raises(BitstreamError):
+            fresh_module.write_row(0, 0, 0, np.zeros(10, dtype=np.uint8))
+
+    def test_write_validates_values(self, fresh_module):
+        geo = fresh_module.geometry
+        with pytest.raises(BitstreamError):
+            fresh_module.write_row(0, 0, 0,
+                                   np.full(geo.row_bits, 2, dtype=np.uint8))
+
+
+class TestProtocol:
+    def test_read_without_open_row_raises(self, fresh_module):
+        with pytest.raises(ProtocolError):
+            fresh_module.issue(Command(CommandKind.RD, 0.0, 0, 0, column=0))
+
+    def test_legal_activate_read(self, fresh_module):
+        geo = fresh_module.geometry
+        data = np.ones(geo.row_bits, dtype=np.uint8)
+        fresh_module.write_row(0, 0, 8, data)
+        fresh_module.issue(Command(CommandKind.ACT, 0.0, 0, 0, row=8))
+        block = fresh_module.issue(
+            Command(CommandKind.RD, fresh_module.timing.tRCD, 0, 0,
+                    column=0))
+        assert (block == 1).all()
+
+    def test_wr_command_via_issue_rejected(self, fresh_module):
+        fresh_module.issue(Command(CommandKind.ACT, 0.0, 0, 0, row=8))
+        with pytest.raises(ConfigurationError):
+            fresh_module.issue(Command(CommandKind.WR, 20.0, 0, 0, column=0))
+
+    def test_prea_closes_all_banks(self, fresh_module):
+        fresh_module.issue(Command(CommandKind.ACT, 0.0, 0, 0, row=0))
+        fresh_module.issue(Command(CommandKind.ACT, 10.0, 1, 0, row=0))
+        t = 10.0 + fresh_module.timing.tRAS
+        fresh_module.issue(Command(CommandKind.PREA, t))
+        assert not fresh_module.bank(0, 0).open_rows
+        assert not fresh_module.bank(1, 0).open_rows
+
+
+class TestQuacBehaviour:
+    def test_quac_opens_four_rows(self, fresh_module):
+        fill_segment(fresh_module, 0, 0, 5, BEST_DATA_PATTERN)
+        issue_quac(fresh_module, 0, 0, 5)
+        assert fresh_module.bank(0, 0).open_rows == \
+            frozenset({20, 21, 22, 23})
+
+    def test_balanced_pattern_yields_metastable_buffer(self, module_m13):
+        fill_segment(module_m13, 2, 0, 5, BEST_DATA_PATTERN)
+        issue_quac(module_m13, 2, 0, 5)
+        buffer = module_m13.bank(2, 0).read_row_buffer()
+        # Near-coin-flip population: clearly mixed.
+        assert 0.2 < buffer.mean() < 0.8
+
+    def test_uniform_pattern_yields_deterministic_buffer(self, module_m13):
+        fill_segment(module_m13, 2, 1, 6, "1111")
+        issue_quac(module_m13, 2, 1, 6)
+        buffer = module_m13.bank(2, 1).read_row_buffer()
+        assert buffer.mean() > 0.99
+
+    def test_quac_restores_sampled_values_into_rows(self, fresh_module):
+        fill_segment(fresh_module, 1, 1, 3, BEST_DATA_PATTERN)
+        t = issue_quac(fresh_module, 1, 1, 3)
+        buffer = fresh_module.bank(1, 1).read_row_buffer()
+        fresh_module.issue(Command(CommandKind.PRE,
+                                   t + fresh_module.timing.tRAS, 1, 1))
+        for offset in range(4):
+            np.testing.assert_array_equal(
+                fresh_module.read_stored_row(1, 1, 12 + offset), buffer)
+
+    def test_write_through_open_rows(self, fresh_module):
+        # The paper's Section 4 verification: a write lands in all four
+        # open rows.
+        geo = fresh_module.geometry
+        fill_segment(fresh_module, 0, 2, 2, "0101")
+        t = issue_quac(fresh_module, 0, 2, 2)
+        marker = np.ones(512, dtype=np.uint8)
+        fresh_module.write_column(0, 2, 0, marker)
+        fresh_module.issue(Command(CommandKind.PRE,
+                                   t + fresh_module.timing.tRAS, 0, 2))
+        for offset in range(4):
+            row = fresh_module.read_stored_row(0, 2, 8 + offset)
+            assert (row[:512] == 1).all()
+
+    def test_repeated_quac_produces_different_samples(self, module_m13):
+        outputs = []
+        host_time = 0.0
+        for _ in range(2):
+            fill_segment(module_m13, 3, 0, 7, BEST_DATA_PATTERN)
+            host_time += 100.0
+            t = issue_quac(module_m13, 3, 0, 7, start=host_time)
+            outputs.append(module_m13.bank(3, 0).read_row_buffer())
+            module_m13.issue(Command(
+                CommandKind.PRE, t + module_m13.timing.tRAS, 3, 0))
+            host_time = t + module_m13.timing.tRAS + 20.0
+        assert not np.array_equal(outputs[0], outputs[1])
+
+
+class TestRowCloneCopySemantics:
+    def test_settled_merge_copies_instead_of_sampling(self, fresh_module):
+        # ACT src, wait >= tRCD, PRE (violated), ACT dst (violated):
+        # deterministic copy, not metastable QUAC.
+        geo = fresh_module.geometry
+        timing = fresh_module.timing
+        src, dst = 8, 12        # segment 2 row 0 -> segment 3 row 0
+        data = np.ones(geo.row_bits, dtype=np.uint8)
+        fresh_module.write_row(0, 0, src, data)
+        t = 0.0
+        fresh_module.issue(Command(CommandKind.ACT, t, 0, 0, row=src))
+        t += timing.tRCD
+        fresh_module.issue(Command(CommandKind.PRE, t, 0, 0))
+        t += QUAC_VIOLATION_DELAY_NS
+        fresh_module.issue(Command(CommandKind.ACT, t, 0, 0, row=dst))
+        t += timing.tRAS
+        fresh_module.issue(Command(CommandKind.PRE, t, 0, 0))
+        np.testing.assert_array_equal(
+            fresh_module.read_stored_row(0, 0, dst), data)
+
+    def test_inverted_lsb_copy_fills_whole_segment(self, fresh_module):
+        # src at position 1 -> dst at position 2: LSB union opens all
+        # four destination rows and the copy bulk-fills the segment.
+        geo = fresh_module.geometry
+        timing = fresh_module.timing
+        src = 3 * 4 + 1
+        dst = 2 * 4 + 2
+        data = np.ones(geo.row_bits, dtype=np.uint8)
+        fresh_module.write_row(0, 1, src, data)
+        t = 0.0
+        fresh_module.issue(Command(CommandKind.ACT, t, 0, 1, row=src))
+        t += timing.tRCD
+        fresh_module.issue(Command(CommandKind.PRE, t, 0, 1))
+        t += QUAC_VIOLATION_DELAY_NS
+        fresh_module.issue(Command(CommandKind.ACT, t, 0, 1, row=dst))
+        t += timing.tRAS
+        fresh_module.issue(Command(CommandKind.PRE, t, 0, 1))
+        for offset in range(4):
+            row = fresh_module.read_stored_row(0, 1, 8 + offset)
+            assert (row == 1).all(), f"row offset {offset} not copied"
+
+
+class TestPatternHelpers:
+    def test_cells_for_pattern(self):
+        cells = cells_for_pattern("0110", 16)
+        assert cells.shape == (4, 16)
+        assert cells[0].sum() == 0
+        assert cells[1].sum() == 16
+
+    def test_cells_for_pattern_validation(self):
+        with pytest.raises(ConfigurationError):
+            cells_for_pattern("012", 16)
+
+    def test_all_patterns_enumeration(self):
+        assert len(ALL_DATA_PATTERNS) == 16
+        assert BEST_DATA_PATTERN in ALL_DATA_PATTERNS

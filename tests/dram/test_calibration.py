@@ -1,0 +1,88 @@
+"""Entropy-model calibration."""
+
+import numpy as np
+import pytest
+
+from repro.dram.calibration import (C_H, calibrate_offset_zeta,
+                                    expected_bitline_entropy,
+                                    expected_bitline_entropy_fast,
+                                    expected_segment_entropy)
+from repro.dram.variation import VariationModel, VariationParameters
+from repro.errors import CharacterizationError
+
+
+class TestExpectedEntropy:
+    def test_decreases_with_zeta(self):
+        h = expected_bitline_entropy(np.array([10.0, 40.0, 160.0]))
+        assert h[0] > h[1] > h[2]
+
+    def test_shift_suppresses_entropy(self):
+        base = expected_bitline_entropy(np.array([40.0]), 0.0)[0]
+        shifted = expected_bitline_entropy(np.array([40.0]), 80.0)[0]
+        assert shifted < base / 2
+
+    def test_inverse_scaling_regime(self):
+        # For large zeta, h ~ C_H / (sqrt(2 pi) zeta).
+        h = expected_bitline_entropy(np.array([200.0]))[0]
+        approx = C_H / (np.sqrt(2 * np.pi) * 200.0)
+        assert h == pytest.approx(approx, rel=0.02)
+
+    def test_rejects_nonpositive_zeta(self):
+        with pytest.raises(CharacterizationError):
+            expected_bitline_entropy(np.array([0.0]))
+
+    def test_fast_matches_exact_for_moderate_zeta(self):
+        zetas = np.array([8.0, 15.0, 40.0, 120.0])
+        for shift in (0.0, 20.0, 60.0):
+            exact = expected_bitline_entropy(zetas, shift)
+            fast = expected_bitline_entropy_fast(zetas, shift)
+            # Deep-tail values (entropies < 1e-6 bits) may disagree
+            # relatively but are irrelevant absolutely.
+            np.testing.assert_allclose(fast, exact, rtol=0.06, atol=1e-6)
+
+    def test_fast_broadcasts(self):
+        zetas = np.ones((3, 4)) * 40.0
+        shifts = np.array([[0.0], [10.0], [20.0]])
+        out = expected_bitline_entropy_fast(zetas, shifts)
+        assert out.shape == (3, 4)
+        assert (out[0] > out[1]).all() and (out[1] > out[2]).all()
+
+
+class TestCalibration:
+    def test_hits_target(self, small_geometry):
+        params = VariationParameters()
+        target = 120.0
+        calibrated, achieved = calibrate_offset_zeta(
+            small_geometry, seed=7, params=params,
+            target_avg_segment_entropy=target)
+        assert achieved == pytest.approx(target, rel=0.02)
+        assert calibrated.offset_zeta > 0
+
+    def test_higher_target_means_lower_zeta(self, small_geometry):
+        params = VariationParameters()
+        low, _ = calibrate_offset_zeta(small_geometry, 7, params, 60.0)
+        high, _ = calibrate_offset_zeta(small_geometry, 7, params, 200.0)
+        assert high.offset_zeta < low.offset_zeta
+
+    def test_unreachable_target_raises(self, small_geometry):
+        with pytest.raises(CharacterizationError):
+            calibrate_offset_zeta(small_geometry, 7, VariationParameters(),
+                                  1e9)
+
+    def test_rejects_nonpositive_target(self, small_geometry):
+        with pytest.raises(CharacterizationError):
+            calibrate_offset_zeta(small_geometry, 7, VariationParameters(),
+                                  0.0)
+
+    def test_expected_segment_entropy_matches_sampled(self, module_m4,
+                                                      small_geometry):
+        # The analytic expectation should agree with the sampled-offset
+        # entropy map within sampling noise.
+        model = module_m4.variation
+        segment = 10
+        expected = expected_segment_entropy(
+            model, small_geometry, 0, 0, segment,
+            model.params.offset_zeta, "0111")
+        addr = small_geometry.segment_address(0, 0, segment)
+        sampled = float(module_m4.segment_entropy_map(addr, "0111").sum())
+        assert sampled == pytest.approx(expected, rel=0.25)

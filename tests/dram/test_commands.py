@@ -1,0 +1,90 @@
+"""Command records and traces."""
+
+import pytest
+
+from repro.dram.commands import Command, CommandKind, CommandTrace
+from repro.dram.timing import speed_grade
+from repro.errors import ConfigurationError
+
+
+def act(t, bg=0, bank=0, row=0):
+    return Command(CommandKind.ACT, t, bg, bank, row=row)
+
+
+def pre(t, bg=0, bank=0):
+    return Command(CommandKind.PRE, t, bg, bank)
+
+
+class TestCommand:
+    def test_act_requires_row(self):
+        with pytest.raises(ConfigurationError):
+            Command(CommandKind.ACT, 0.0)
+
+    def test_rd_requires_column(self):
+        with pytest.raises(ConfigurationError):
+            Command(CommandKind.RD, 0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Command(CommandKind.PRE, -1.0)
+
+    def test_same_bank(self):
+        assert act(0, 1, 2).same_bank(pre(1, 1, 2))
+        assert not act(0, 1, 2).same_bank(pre(1, 1, 3))
+
+
+class TestTrace:
+    def test_append_enforces_time_order(self):
+        trace = CommandTrace()
+        trace.append(act(10.0))
+        with pytest.raises(ConfigurationError):
+            trace.append(pre(5.0))
+
+    def test_makespan(self):
+        trace = CommandTrace()
+        trace.extend([act(10.0), pre(60.0)])
+        assert trace.makespan_ns() == pytest.approx(50.0)
+
+    def test_empty_makespan_is_zero(self):
+        assert CommandTrace().makespan_ns() == 0.0
+
+    def test_of_kind(self):
+        trace = CommandTrace()
+        trace.extend([act(0.0), pre(40.0), act(60.0, row=3)])
+        assert len(trace.of_kind(CommandKind.ACT)) == 2
+        assert len(trace.of_kind(CommandKind.PRE)) == 1
+
+
+class TestViolationDetection:
+    def test_legal_sequence_has_no_violations(self):
+        timing = speed_grade(2400)
+        trace = CommandTrace()
+        trace.extend([
+            act(0.0),
+            pre(timing.tRAS),
+            act(timing.tRAS + timing.tRP, row=4),
+        ])
+        assert trace.violations(timing) == []
+
+    def test_quac_sequence_violates_tras_and_trp(self):
+        # The Algorithm 1 sequence: ACT, PRE at +2.5, ACT at +5.
+        timing = speed_grade(2400)
+        trace = CommandTrace()
+        trace.extend([act(0.0), pre(2.5), act(5.0, row=3)])
+        labels = " ".join(trace.violations(timing))
+        assert "tRAS" in labels
+        assert "tRP" in labels
+
+    def test_trrd_violation_detected(self):
+        timing = speed_grade(2400)
+        trace = CommandTrace()
+        trace.extend([act(0.0, bg=0), act(1.0, bg=1)])
+        labels = " ".join(trace.violations(timing))
+        assert "tRRD_S" in labels
+
+    def test_trrd_long_for_same_group(self):
+        timing = speed_grade(2400)
+        trace = CommandTrace()
+        trace.extend([act(0.0, bg=0, bank=0), act(4.0, bg=0, bank=1)])
+        labels = " ".join(trace.violations(timing))
+        assert "tRRD_L" in labels

@@ -1,0 +1,145 @@
+"""Baseline failure mechanisms: tRCD, tRP, retention, startup."""
+
+import numpy as np
+import pytest
+
+from repro.dram.failures import (ActivationFailureModel,
+                                 PrechargeFailureModel, StartupValueModel,
+                                 check_region)
+from repro.dram.retention import RetentionModel, VRT_FRACTION
+from repro.errors import AddressError, ConfigurationError
+
+
+@pytest.fixture(scope="module")
+def trcd_model(small_geometry):
+    return ActivationFailureModel(small_geometry, seed=5)
+
+
+@pytest.fixture(scope="module")
+def trp_model(small_geometry):
+    return PrechargeFailureModel(small_geometry, seed=5)
+
+
+class TestActivationFailures:
+    def test_entropy_positive_and_bounded(self, trcd_model):
+        h = trcd_model.cache_block_entropy(0, 0, 3, 1)
+        assert 0 < h < 512
+
+    def test_deterministic(self, trcd_model):
+        a = trcd_model.cell_probabilities(0, 0, 3, 1)
+        b = trcd_model.cell_probabilities(0, 0, 3, 1)
+        np.testing.assert_array_equal(a, b)
+
+    def test_blocks_vary(self, trcd_model):
+        a = trcd_model.cache_block_entropy(0, 0, 3, 1)
+        b = trcd_model.cache_block_entropy(0, 0, 3, 2)
+        assert a != b
+
+    def test_trng_cells_sparse(self, trcd_model):
+        # D-RaNGe's defining property: only a handful of near-ideal
+        # TRNG cells per cache block.
+        cells = trcd_model.trng_cells(0, 0, 3, 1)
+        assert 0 <= cells < 64
+
+    def test_max_block_entropy_exceeds_typical(self, trcd_model):
+        best = trcd_model.max_cache_block_entropy(n_rows=32)
+        typical = trcd_model.expected_block_entropy(trcd_model.base_zeta)
+        assert best > 2 * typical
+
+    def test_sampled_reads_are_biased_towards_zero(self, trcd_model):
+        read = trcd_model.sample_read(0, 0, 3, 1, trial=0)
+        assert read.mean() < 0.5
+
+    def test_sampled_reads_vary_across_trials(self, trcd_model):
+        a = trcd_model.sample_read(0, 0, 3, 1, trial=0)
+        b = trcd_model.sample_read(0, 0, 3, 1, trial=1)
+        assert not np.array_equal(a, b)
+
+
+class TestPrechargeFailures:
+    def test_row_entropy_scale(self, trp_model, small_geometry):
+        # Talukder+ harvests ~1.6% of a row's bits as entropy: far less
+        # than QUAC's best segments, far more than one cache block.
+        h = trp_model.row_entropy(0, 0, 5)
+        assert 0 < h < small_geometry.row_bits * 0.2
+
+    def test_max_row_entropy(self, trp_model):
+        best = trp_model.max_row_entropy(n_rows=64)
+        typical = trp_model.row_entropy(0, 0, 5)
+        assert best >= typical
+
+    def test_random_cells_count(self, trp_model):
+        cells = trp_model.random_cells_per_row(0, 0, 5)
+        assert cells > 0
+
+    def test_sample_read_shape(self, trp_model, small_geometry):
+        read = trp_model.sample_read(0, 0, 5, trial=0)
+        assert read.shape == (small_geometry.row_bits,)
+
+
+class TestStartupValues:
+    def test_startup_rows_differ_across_power_cycles(self, small_geometry):
+        model = StartupValueModel(small_geometry, seed=5)
+        a = model.startup_row(0, 0, 2, power_cycle=0)
+        b = model.startup_row(0, 0, 2, power_cycle=1)
+        assert not np.array_equal(a, b)
+        # But most cells are biased: the difference is sparse.
+        assert (a != b).mean() < 2 * model.metastable_fraction
+
+    def test_row_entropy_estimate(self, small_geometry):
+        model = StartupValueModel(small_geometry, seed=5)
+        assert model.row_entropy() == pytest.approx(
+            small_geometry.row_bits * model.metastable_fraction)
+
+    def test_power_cycle_latency_is_700us(self, small_geometry):
+        assert StartupValueModel(small_geometry, 0).power_cycle_latency_ns \
+            == pytest.approx(700_000.0)
+
+
+class TestRetention:
+    def test_probability_monotone_in_pause(self):
+        model = RetentionModel()
+        assert model.failure_probability(40.0) < \
+            model.failure_probability(320.0)
+
+    def test_zero_pause_no_failures(self):
+        assert RetentionModel().failure_probability(0.0) == 0.0
+
+    def test_temperature_accelerates(self):
+        model = RetentionModel()
+        assert model.failure_probability(40.0, 85.0) > \
+            model.failure_probability(40.0, 50.0)
+
+    def test_dpuf_operating_point(self):
+        # 4 MiB region, 40 s pause: enough entropy for one 256-bit block.
+        model = RetentionModel()
+        bits = model.expected_entropy_bits(4 * 2 ** 20 * 8, 40.0)
+        assert bits >= 256
+
+    def test_keller_operating_point(self):
+        model = RetentionModel()
+        bits = model.expected_entropy_bits(1 * 2 ** 20 * 8, 320.0)
+        assert bits >= 256
+
+    def test_pause_for_entropy_inverse(self):
+        model = RetentionModel()
+        region = 4 * 2 ** 20 * 8
+        pause = model.pause_for_entropy(region, 256.0)
+        assert model.expected_entropy_bits(region, pause) == \
+            pytest.approx(256.0, rel=0.01)
+
+    def test_pause_for_entropy_unreachable(self):
+        model = RetentionModel()
+        with pytest.raises(ConfigurationError):
+            model.pause_for_entropy(10, 256.0, max_pause_s=100.0)
+
+    def test_vrt_fraction_sane(self):
+        assert 0 < VRT_FRACTION < 1
+
+
+def test_check_region(small_geometry):
+    check_region(small_geometry, 0, 4)
+    with pytest.raises(AddressError):
+        check_region(small_geometry, 0, 0)
+    with pytest.raises(AddressError):
+        check_region(small_geometry, small_geometry.rows_per_bank - 1, 4)

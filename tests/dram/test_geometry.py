@@ -1,0 +1,96 @@
+"""DRAM geometry and address arithmetic."""
+
+import pytest
+
+from repro.dram.geometry import (CACHE_BLOCK_BITS, DramGeometry,
+                                 ROWS_PER_SEGMENT, SegmentAddress)
+from repro.errors import AddressError, ConfigurationError
+
+
+class TestFullScale:
+    def test_paper_dimensions(self):
+        geo = DramGeometry.full_scale()
+        # Section 6.1.4: 8K segments, 64K bitlines per segment row.
+        assert geo.segments_per_bank == 8192
+        assert geo.row_bits == 65536
+        # 128 cache blocks of 512 bits each per row.
+        assert geo.cache_blocks_per_row == 128
+        # DDR4 x8: 4 bank groups x 4 banks.
+        assert geo.banks == 16
+
+    def test_row_bytes(self):
+        assert DramGeometry.full_scale().row_bytes == 8192  # 8 KiB
+
+
+class TestValidation:
+    def test_rows_must_tile_into_segments(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(rows_per_bank=30)
+
+    def test_row_bits_must_tile_into_cache_blocks(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(row_bits=CACHE_BLOCK_BITS + 1)
+
+    def test_bank_counts_positive(self):
+        with pytest.raises(ConfigurationError):
+            DramGeometry(bank_groups=0)
+
+    def test_check_row_bounds(self, small_geometry):
+        small_geometry.check_row(0)
+        small_geometry.check_row(small_geometry.rows_per_bank - 1)
+        with pytest.raises(AddressError):
+            small_geometry.check_row(small_geometry.rows_per_bank)
+        with pytest.raises(AddressError):
+            small_geometry.check_row(-1)
+
+    def test_check_bank_bounds(self, small_geometry):
+        small_geometry.check_bank(3, 3)
+        with pytest.raises(AddressError):
+            small_geometry.check_bank(4, 0)
+        with pytest.raises(AddressError):
+            small_geometry.check_bank(0, 4)
+
+    def test_check_cache_block_bounds(self, small_geometry):
+        with pytest.raises(AddressError):
+            small_geometry.check_cache_block(
+                small_geometry.cache_blocks_per_row)
+
+
+class TestSegments:
+    def test_segment_of_row(self, small_geometry):
+        assert small_geometry.segment_of_row(0) == 0
+        assert small_geometry.segment_of_row(3) == 0
+        assert small_geometry.segment_of_row(4) == 1
+
+    def test_row_in_segment_is_two_lsbs(self, small_geometry):
+        for row in range(8):
+            assert small_geometry.row_in_segment(row) == row % 4
+
+    def test_segment_address_rows(self):
+        addr = SegmentAddress(bank_group=1, bank=2, segment=5)
+        assert addr.first_row() == 20
+        assert addr.last_row() == 23
+        assert list(addr.rows()) == [20, 21, 22, 23]
+
+    def test_segment_address_validated(self, small_geometry):
+        with pytest.raises(AddressError):
+            small_geometry.segment_address(0, 0,
+                                           small_geometry.segments_per_bank)
+
+    def test_cache_block_slice(self, small_geometry):
+        sl = small_geometry.cache_block_slice(2)
+        assert sl.start == 2 * CACHE_BLOCK_BITS
+        assert sl.stop == 3 * CACHE_BLOCK_BITS
+
+
+class TestSubarrays:
+    def test_distance_to_sense_amps_in_unit_range(self, small_geometry):
+        for row in (0, 5, small_geometry.rows_per_bank - 1):
+            assert 0.0 <= small_geometry.distance_to_sense_amps(row) <= 1.0
+
+    def test_small_factory_preserves_invariants(self):
+        geo = DramGeometry.small(segments_per_bank=16,
+                                 cache_blocks_per_row=4)
+        assert geo.segments_per_bank == 16
+        assert geo.cache_blocks_per_row == 4
+        assert geo.rows_per_bank == 16 * ROWS_PER_SEGMENT

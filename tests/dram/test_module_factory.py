@@ -1,0 +1,78 @@
+"""The Table 3 module population."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import BEST_DATA_PATTERN
+from repro.dram.module_factory import (TABLE3_SPECS, TOTAL_CHIPS,
+                                       build_module, build_table3_population,
+                                       spec_by_name)
+
+
+def measured_segment_entropies(module):
+    geo = module.geometry
+    return np.array([
+        module.segment_entropy_map(
+            geo.segment_address(0, 0, s), BEST_DATA_PATTERN).sum()
+        for s in range(geo.segments_per_bank)
+    ])
+
+
+class TestPopulationDefinition:
+    def test_seventeen_modules(self):
+        assert len(TABLE3_SPECS) == 17
+
+    def test_headline_chip_count(self):
+        # "136 commodity DDR4 chips from one major DRAM manufacturer".
+        assert TOTAL_CHIPS == 136
+
+    def test_spec_lookup(self):
+        assert spec_by_name("M13").avg_segment_entropy == 1853.5
+        with pytest.raises(KeyError):
+            spec_by_name("M99")
+
+    def test_thirty_day_specs_present_for_five_modules(self):
+        remeasured = [s for s in TABLE3_SPECS
+                      if s.avg_segment_entropy_30d is not None]
+        assert len(remeasured) == 5
+
+    def test_speed_grades_match_table(self):
+        assert spec_by_name("M1").freq_mts == 2133
+        assert spec_by_name("M15").freq_mts == 3200
+
+
+class TestBuiltModules:
+    def test_average_entropy_calibrated(self, module_m4, entropy_scale):
+        target = spec_by_name("M4").avg_segment_entropy * entropy_scale
+        measured = measured_segment_entropies(module_m4).mean()
+        assert measured == pytest.approx(target, rel=0.12)
+
+    def test_max_entropy_in_band(self, module_m13, entropy_scale):
+        spec = spec_by_name("M13")
+        entropies = measured_segment_entropies(module_m13)
+        ratio = entropies.max() / entropies.mean()
+        paper_ratio = spec.max_segment_entropy / spec.avg_segment_entropy
+        assert ratio == pytest.approx(paper_ratio, rel=0.35)
+
+    def test_modules_are_reproducible(self, small_geometry):
+        a = build_module(spec_by_name("M6"), small_geometry)
+        b = build_module(spec_by_name("M6"), small_geometry)
+        addr = small_geometry.segment_address(0, 0, 3)
+        np.testing.assert_array_equal(
+            a.segment_entropy_map(addr, "0111"),
+            b.segment_entropy_map(addr, "0111"))
+
+    def test_modules_differ_across_specs(self, module_m4, module_m13):
+        assert module_m4.seed != module_m13.seed
+        a = measured_segment_entropies(module_m4)
+        b = measured_segment_entropies(module_m13)
+        assert not np.allclose(a, b)
+
+    def test_population_subset(self, small_geometry):
+        modules = build_table3_population(small_geometry,
+                                          names=["M1", "M2"])
+        assert [m.name for m in modules] == ["M1", "M2"]
+
+    def test_native_speed_grades(self, small_geometry):
+        module = build_module(spec_by_name("M16"), small_geometry)
+        assert module.timing.transfer_rate_mts == 3200

@@ -1,0 +1,111 @@
+"""Sense-amplifier metastability model."""
+
+import numpy as np
+import pytest
+
+from repro.dram.sense_amplifier import (bernoulli_entropy,
+                                        deviation_from_cells,
+                                        empirical_entropy, sample_settles,
+                                        settle_probability)
+from repro.errors import BitstreamError
+
+
+class TestSettleProbability:
+    def test_zero_deviation_is_coin_flip(self):
+        assert settle_probability(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_large_deviation_saturates(self):
+        p = settle_probability(np.array([-10.0, 10.0]))
+        assert p[0] < 1e-12
+        assert p[1] > 1 - 1e-12
+
+    def test_monotonic(self):
+        z = np.linspace(-5, 5, 101)
+        p = settle_probability(z)
+        assert (np.diff(p) > 0).all()
+
+
+class TestBernoulliEntropy:
+    def test_extremes_exact(self):
+        h = bernoulli_entropy(np.array([0.0, 1.0, 0.5]))
+        assert h[0] == 0.0
+        assert h[1] == 0.0
+        assert h[2] == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p = np.array([0.1, 0.3])
+        np.testing.assert_allclose(bernoulli_entropy(p),
+                                   bernoulli_entropy(1 - p))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(BitstreamError):
+            bernoulli_entropy(np.array([1.5]))
+
+
+class TestEmpiricalEntropy:
+    def test_matches_analytic_for_large_samples(self):
+        rng = np.random.default_rng(3)
+        p = 0.3
+        bits = (rng.random(200000) < p).astype(np.uint8)
+        measured = float(empirical_entropy(bits))
+        assert measured == pytest.approx(float(bernoulli_entropy(
+            np.array([p]))[0]), abs=0.01)
+
+    def test_axis_handling(self):
+        bits = np.array([[0, 1], [1, 1], [0, 1], [1, 1]], dtype=np.uint8)
+        h = empirical_entropy(bits, axis=0)
+        assert h.shape == (2,)
+        assert h[0] == pytest.approx(1.0)
+        assert h[1] == 0.0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(BitstreamError):
+            empirical_entropy(np.array([0, 1, 2]))
+
+
+class TestSampling:
+    def test_shape_single_iteration(self):
+        rng = np.random.default_rng(0)
+        out = sample_settles(np.full(16, 0.5), rng)
+        assert out.shape == (16,)
+
+    def test_shape_multiple_iterations(self):
+        rng = np.random.default_rng(0)
+        out = sample_settles(np.full(16, 0.5), rng, iterations=10)
+        assert out.shape == (10, 16)
+
+    def test_respects_probabilities(self):
+        rng = np.random.default_rng(1)
+        out = sample_settles(np.array([0.0, 1.0]), rng, iterations=100)
+        assert out[:, 0].sum() == 0
+        assert out[:, 1].sum() == 100
+
+
+class TestChargeSharing:
+    def test_balanced_0111_with_weight_3_is_metastable(self):
+        # "0111" with the first row weighing 3: net imbalance zero.
+        cells = np.array([[0], [1], [1], [1]], dtype=np.uint8)
+        dv = deviation_from_cells(cells, first_row=0, first_row_weight=3.0,
+                                  drive_z=60.0)
+        assert dv[0] == pytest.approx(0.0)
+
+    def test_uniform_pattern_is_deterministic(self):
+        cells = np.ones((4, 1), dtype=np.uint8)
+        dv = deviation_from_cells(cells, first_row=0, first_row_weight=3.0,
+                                  drive_z=60.0)
+        assert dv[0] == pytest.approx(0.5 * 6 * 60.0)
+
+    def test_first_row_position_matters(self):
+        # "0111" is balanced only when row 0 is activated first.
+        cells = np.array([[0], [1], [1], [1]], dtype=np.uint8)
+        balanced = deviation_from_cells(cells, 0, 3.0, 60.0)
+        unbalanced = deviation_from_cells(cells, 1, 3.0, 60.0)
+        assert abs(balanced[0]) < abs(unbalanced[0])
+
+    def test_shape_validation(self):
+        with pytest.raises(BitstreamError):
+            deviation_from_cells(np.zeros((3, 8)), 0, 3.0, 60.0)
+
+    def test_first_row_range(self):
+        with pytest.raises(ValueError):
+            deviation_from_cells(np.zeros((4, 8)), 4, 3.0, 60.0)

@@ -1,0 +1,81 @@
+"""DDR4 timing parameters and speed grades."""
+
+import pytest
+
+from repro.dram.timing import (FIGURE13_RATES, QUAC_VIOLATION_DELAY_NS,
+                               SPEED_GRADES, TimingParameters, speed_grade)
+from repro.errors import ConfigurationError
+
+
+def test_paper_speed_bins_exist():
+    # Table 3 modules run at 2133, 2400, 2666 and 3200 MT/s.
+    for rate in (2133, 2400, 2666, 3200):
+        assert rate in SPEED_GRADES
+
+
+def test_paper_trrd_values_at_2666():
+    # Section 2.1 quotes tRRD_S = 3.00 ns, tRRD_L = 4.90 ns for DDR4-2666.
+    timing = speed_grade(2666)
+    assert timing.tRRD_S == pytest.approx(3.00)
+    assert timing.tRRD_L == pytest.approx(4.90)
+
+
+def test_quac_violation_delay_is_papers():
+    # Algorithm 1 waits 2.5 ns to violate tRAS and tRP.
+    assert QUAC_VIOLATION_DELAY_NS == 2.5
+    timing = speed_grade(2400)
+    assert QUAC_VIOLATION_DELAY_NS < timing.tRAS
+    assert QUAC_VIOLATION_DELAY_NS < timing.tRP
+
+
+def test_burst_time_tracks_rate():
+    assert speed_grade(2400).tBL == pytest.approx(10.0 / 3.0)
+    assert speed_grade(3200).tBL == pytest.approx(2.5)
+
+
+def test_trc_is_ras_plus_rp():
+    timing = speed_grade(2400)
+    assert timing.tRC == pytest.approx(timing.tRAS + timing.tRP)
+
+
+def test_peak_bandwidth():
+    # 64-bit channel at 2400 MT/s: 153.6 Gb/s peak.
+    assert speed_grade(2400).peak_bandwidth_gbps == pytest.approx(153.6)
+
+
+def test_projection_keeps_core_latencies():
+    base = speed_grade(2400)
+    fast = speed_grade(12000)
+    assert fast.tRCD == base.tRCD
+    assert fast.tRAS == base.tRAS
+    assert fast.tRP == base.tRP
+
+
+def test_projection_scales_bandwidth_parameters():
+    base = speed_grade(2400)
+    fast = speed_grade(12000)
+    assert fast.tBL == pytest.approx(base.tBL / 5)
+    assert fast.tCCD_S < base.tCCD_S
+
+
+def test_projection_never_overlaps_bursts():
+    for rate in FIGURE13_RATES:
+        timing = speed_grade(rate)
+        assert timing.tCCD_S >= timing.tBL - 1e-9
+
+
+def test_below_ddr4_range_rejected():
+    with pytest.raises(ConfigurationError):
+        speed_grade(1600)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ConfigurationError):
+        TimingParameters(transfer_rate_mts=2400, tRCD=0, tRAS=32, tRP=13,
+                         tRRD_S=3, tRRD_L=5, tCCD_S=3, tCCD_L=6, tWR=15,
+                         tFAW=21, tCL=13, tCWL=12)
+
+
+def test_figure13_rates_cover_paper_sweep():
+    assert FIGURE13_RATES[0] == 2400
+    assert FIGURE13_RATES[-1] == 12000

@@ -1,0 +1,100 @@
+"""The hypothetical latch-based row decoder (paper Section 4.2)."""
+
+import pytest
+
+from repro.dram.timing import QUAC_VIOLATION_DELAY_NS, speed_grade
+from repro.dram.wordline import (RowDecoder, quac_pair_for_segment,
+                                 select_lines_from_latches)
+
+
+@pytest.fixture()
+def decoder():
+    return RowDecoder(speed_grade(2400))
+
+
+def run_quac_sequence(decoder, first_row, second_row):
+    """ACT -> PRE(+2.5) -> ACT(+2.5), the Algorithm 1 trio."""
+    decoder.on_activate(first_row, 0.0)
+    decoder.on_precharge(QUAC_VIOLATION_DELAY_NS)
+    return decoder.on_activate(second_row, 2 * QUAC_VIOLATION_DELAY_NS)
+
+
+class TestSelectLines:
+    def test_single_polarity_pairs(self):
+        assert select_lines_from_latches(False, True, False, True) == {0}
+        assert select_lines_from_latches(True, False, False, True) == {1}
+        assert select_lines_from_latches(False, True, True, False) == {2}
+        assert select_lines_from_latches(True, False, True, False) == {3}
+
+    def test_all_latches_assert_all_lines(self):
+        assert select_lines_from_latches(True, True, True, True) == \
+            {0, 1, 2, 3}
+
+    def test_no_latches_no_lines(self):
+        assert select_lines_from_latches(False, False, False, False) == set()
+
+
+class TestQuacTrigger:
+    def test_inverted_pair_00_11_opens_four_rows(self, decoder):
+        # Section 4: ACTs to rows 0 and 3 (LSBs 00, 11) trigger QUAC.
+        open_rows = run_quac_sequence(decoder, 0, 3)
+        assert open_rows == frozenset({0, 1, 2, 3})
+
+    def test_inverted_pair_01_10_opens_four_rows(self, decoder):
+        open_rows = run_quac_sequence(decoder, 9, 10)  # segment 2
+        assert open_rows == frozenset({8, 9, 10, 11})
+
+    def test_non_inverted_pair_opens_fewer_rows(self, decoder):
+        # LSBs 00 then 01 assert only S0 and S1: no QUAC, matching the
+        # paper's observation that only inverted pairs trigger it.
+        open_rows = run_quac_sequence(decoder, 0, 1)
+        assert open_rows == frozenset({0, 1})
+
+    def test_same_row_twice_opens_one_row(self, decoder):
+        open_rows = run_quac_sequence(decoder, 4, 4)
+        assert open_rows == frozenset({4})
+
+    def test_first_activated_row_tracked(self, decoder):
+        run_quac_sequence(decoder, 3, 0)
+        assert decoder.first_activated_row == 3
+
+
+class TestLegalOperation:
+    def test_legal_act_pre_closes_rows(self, decoder):
+        timing = speed_grade(2400)
+        decoder.on_activate(5, 0.0)
+        effective = decoder.on_precharge(timing.tRAS)
+        assert effective
+        assert decoder.open_rows == frozenset()
+
+    def test_violated_pre_keeps_rows_open(self, decoder):
+        decoder.on_activate(5, 0.0)
+        effective = decoder.on_precharge(QUAC_VIOLATION_DELAY_NS)
+        assert not effective
+        assert decoder.open_rows == frozenset({5})
+
+    def test_fresh_act_after_full_cycle_is_single(self, decoder):
+        timing = speed_grade(2400)
+        run_quac_sequence(decoder, 0, 3)
+        decoder.on_precharge(100.0)       # legal: > tRAS since last ACT
+        open_rows = decoder.on_activate(8, 100.0 + timing.tRP)
+        assert open_rows == frozenset({8})
+
+    def test_merges_at(self, decoder):
+        timing = speed_grade(2400)
+        decoder.on_activate(0, 0.0)
+        decoder.on_precharge(QUAC_VIOLATION_DELAY_NS)
+        assert decoder.merges_at(2 * QUAC_VIOLATION_DELAY_NS)
+        assert not decoder.merges_at(QUAC_VIOLATION_DELAY_NS + timing.tRP)
+
+
+class TestQuacPairs:
+    def test_variant0(self):
+        assert quac_pair_for_segment(5, 0) == (20, 23)
+
+    def test_variant1(self):
+        assert quac_pair_for_segment(5, 1) == (21, 22)
+
+    def test_invalid_variant(self):
+        with pytest.raises(ValueError):
+            quac_pair_for_segment(0, 2)

@@ -1,0 +1,232 @@
+"""Experiment drivers: every table/figure regenerates with the paper's
+qualitative shape at small scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig8, fig9, fig10, fig11, fig12, fig13, fig14
+from repro.experiments import table1, table2, table3
+from repro.experiments.common import (ExperimentResult, ExperimentScale,
+                                      coerce_scale)
+from repro.experiments.runner import EXPERIMENTS, run_all
+from repro.errors import ConfigurationError
+
+
+class TestCommon:
+    def test_coerce_scale(self):
+        assert coerce_scale("small") is ExperimentScale.SMALL
+        assert coerce_scale(ExperimentScale.FULL) is ExperimentScale.FULL
+        with pytest.raises(ConfigurationError):
+            coerce_scale("medium")
+
+    def test_result_row_validation(self):
+        result = ExperimentResult("x", headers=["a", "b"])
+        with pytest.raises(ConfigurationError):
+            result.add_row(1)
+
+    def test_result_formatting(self):
+        result = ExperimentResult("demo", headers=["name", "value"])
+        result.add_row("row", 1.234)
+        text = result.format()
+        assert "demo" in text and "1.23" in text
+
+    def test_scheduling_geometry_is_full_scale(self):
+        assert ExperimentScale.SMALL.scheduling_geometry().row_bits == 65536
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table2.run("small")
+
+    def test_quac_wins_both_comparisons(self, result):
+        # The headline claims: 15.08x over best basic, 1.41x over best
+        # enhanced.
+        assert result.data["vs_best_basic"] > 8.0
+        assert result.data["vs_best_enhanced"] > 1.0
+
+    def test_quac_throughput_near_paper(self, result):
+        assert result.data["quac_throughput_gbps"] == pytest.approx(
+            13.76, rel=0.35)
+
+    def test_all_nine_rows(self, result):
+        assert len(result.rows) == 9
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return table3.run("small")
+
+    def test_all_modules_reported(self, result):
+        names = [row[0] for row in result.rows]
+        assert names == ExperimentScale.SMALL.module_names()
+
+    def test_averages_track_paper(self, result):
+        for row in result.rows:
+            measured, paper = row[2], row[5]
+            assert measured == pytest.approx(paper, rel=0.15)
+
+    def test_drift_within_paper_band(self, result):
+        for drift in result.data["drifts"]:
+            assert drift < 0.10
+
+
+class TestFig8:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig8.run("small")
+
+    def test_best_patterns_are_0111_1000(self, result):
+        averages = result.data["averages"]
+        ranked = sorted(averages, key=averages.get, reverse=True)
+        assert set(ranked[:2]) == {"0111", "1000"}
+
+    def test_complement_asymmetry(self, result):
+        # The polarity bias separates complementary patterns, as the
+        # paper's Figure 8 shows.
+        averages = result.data["averages"]
+        assert averages["0100"] != pytest.approx(averages["1011"],
+                                                 rel=0.01)
+
+    def test_worst_pattern_near_zero(self, result):
+        averages = result.data["averages"]
+        assert min(averages.values()) < 1.5
+
+    def test_off_pattern_sweet_spots_exist(self, result):
+        # Rare favouritism anomalies make some off-pattern blocks beat
+        # the typical best-pattern block (the paper's 53-bit "0100"
+        # against the 11.07-bit "0111" average).  The small-scale
+        # population samples fewer anomalies, so the bar is lower here;
+        # the full-scale run shows the paper's ~5x outliers.
+        max_by = result.data["max_by_pattern"]
+        off_max = max(max_by["0100"], max_by["1011"])
+        assert off_max > 1.3 * result.data["averages"]["0111"]
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig9.run("small")
+
+    def test_wave_pattern_present(self, result):
+        assert result.data["peaks"] >= 3
+
+    def test_module_curves_disagree_locally(self, result):
+        curves = result.data["curves"]
+        names = list(curves)
+        a, b = curves[names[0]], curves[names[1]]
+        correlation = np.corrcoef(a, b)[0, 1]
+        assert correlation < 0.9   # same trend, different detail
+
+
+class TestFig10:
+    def test_middle_peak_end_drop(self):
+        result = fig10.run("small")
+        assert result.data["middle_mean"] > result.data["end_mean"]
+        assert result.data["middle_mean"] >= result.data["start_mean"] * 0.9
+
+
+class TestFig11:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11.run("small")
+
+    def test_configuration_ordering(self, result):
+        averages = result.data["averages"]
+        assert averages["RC + BGP"] > averages["BGP"] > \
+            averages["One Bank"]
+
+    def test_rc_bgp_near_paper(self, result):
+        assert result.data["averages"]["RC + BGP"] == pytest.approx(
+            3.44, rel=0.4)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig12.run("small", duration_ns=1e6)
+
+    def test_average_near_paper(self, result):
+        average = result.data["results"][-1]
+        assert average.trng_throughput_gbps == pytest.approx(10.2,
+                                                             rel=0.4)
+
+    def test_mcf_is_among_the_lowest(self, result):
+        results = {r.workload: r.trng_throughput_gbps
+                   for r in result.data["results"][:-1]}
+        ranked = sorted(results, key=results.get)
+        assert "mcf" in ranked[:3]
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig13.run("small")
+
+    def test_quac_always_ahead(self, result):
+        series = result.data["series"]
+        for quac, talukder in zip(series["QUAC-TRNG"],
+                                  series["Talukder+-Enhanced"]):
+            assert quac > talukder
+
+    def test_drange_flat_quac_scales(self, result):
+        series = result.data["series"]
+        assert series["D-RaNGe-Enhanced"][-1] / \
+            series["D-RaNGe-Enhanced"][0] < 1.2
+        assert series["QUAC-TRNG"][-1] / series["QUAC-TRNG"][0] > 2.0
+
+    def test_gap_at_12gts_near_paper(self, result):
+        series = result.data["series"]
+        ratio = series["QUAC-TRNG"][-1] / series["Talukder+-Enhanced"][-1]
+        assert ratio == pytest.approx(2.03, rel=0.25)
+
+
+class TestFig14:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig14.run("small")
+
+    def test_trend_directions(self, result):
+        samples = result.data["samples"]
+        assert np.mean(samples[(1, 85.0)]) > np.mean(samples[(1, 50.0)])
+        assert np.mean(samples[(2, 85.0)]) < np.mean(samples[(2, 50.0)])
+
+    def test_magnitudes_near_paper(self, result):
+        samples = result.data["samples"]
+        t1 = np.mean(samples[(1, 85.0)]) / np.mean(samples[(1, 50.0)])
+        t2 = np.mean(samples[(2, 85.0)]) / np.mean(samples[(2, 50.0)])
+        assert t1 == pytest.approx(1659.6 / 1442.0, rel=0.05)
+        assert t2 == pytest.approx(892.5 / 1710.6, rel=0.05)
+
+    def test_both_trends_present(self, result):
+        counts = result.data["trend_counts"]
+        assert counts[1] > 0 and counts[2] > 0
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        # Small streams keep this test fast; the full run uses 1 Mb.
+        return table1.run("small", sequence_bits=2 ** 16, n_sequences=2)
+
+    def test_sha_stream_passes(self, result):
+        assert result.data["pass_rate"] == 1.0
+
+    def test_all_rows_present(self, result):
+        assert len(result.rows) == 15
+
+
+class TestRunner:
+    def test_registry_covers_all_artifacts(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "fig8", "fig9", "fig10",
+            "fig11", "fig12", "fig13", "fig14"}
+
+    def test_run_all_subset(self):
+        results = run_all("small", only=["fig10"])
+        assert set(results) == {"fig10"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_all("small", only=["fig99"])

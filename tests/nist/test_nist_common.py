@@ -1,0 +1,70 @@
+"""NIST shared infrastructure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import BitstreamError
+from repro.nist.common import (TestResult, check_sequence,
+                               overlapping_window_values, pattern_counts,
+                               to_plus_minus_one)
+
+
+class TestTestResult:
+    def test_passes_at_alpha(self):
+        assert TestResult("t", 0.5).passes(0.001)
+        assert not TestResult("t", 0.0005).passes(0.001)
+
+    def test_extra_p_values_all_must_pass(self):
+        result = TestResult("t", 0.5, extra_p_values={"a": 0.5,
+                                                      "b": 0.0001})
+        assert not result.passes(0.001)
+
+    def test_inapplicable_always_passes(self):
+        assert TestResult("t", 0.0, applicable=False).passes()
+
+    def test_mean_p_value(self):
+        result = TestResult("t", 0.1, extra_p_values={"a": 0.2, "b": 0.4})
+        assert result.mean_p_value() == pytest.approx(0.3)
+
+    def test_mean_p_value_without_extras(self):
+        assert TestResult("t", 0.1).mean_p_value() == pytest.approx(0.1)
+
+
+class TestHelpers:
+    def test_check_sequence_minimum(self):
+        with pytest.raises(BitstreamError):
+            check_sequence(np.zeros(10, dtype=np.uint8), 100, "x")
+
+    def test_to_plus_minus_one(self):
+        out = to_plus_minus_one(np.array([0, 1, 1], dtype=np.uint8))
+        assert out.tolist() == [-1, 1, 1]
+
+    def test_window_values_wrap(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        # Wrapped 2-bit windows: 10, 01, 11.
+        values = overlapping_window_values(bits, 2, wrap=True)
+        assert values.tolist() == [0b10, 0b01, 0b11]
+
+    def test_window_values_no_wrap(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        values = overlapping_window_values(bits, 2, wrap=False)
+        assert values.tolist() == [0b10, 0b01]
+
+    def test_window_length_one(self):
+        bits = np.array([1, 0, 1], dtype=np.uint8)
+        assert overlapping_window_values(bits, 1).tolist() == [1, 0, 1]
+
+    def test_window_rejects_large_m(self):
+        with pytest.raises(BitstreamError):
+            overlapping_window_values(np.zeros(100, dtype=np.uint8), 31)
+
+    def test_pattern_counts_sum(self):
+        bits = np.array([1, 0, 1, 1, 0, 0, 1, 0], dtype=np.uint8)
+        counts = pattern_counts(bits, 3)
+        assert counts.sum() == bits.size
+        assert counts.size == 8
+
+    def test_pattern_counts_uniform_sequence(self):
+        counts = pattern_counts(np.zeros(64, dtype=np.uint8), 2)
+        assert counts[0] == 64
+        assert counts[1:].sum() == 0

@@ -1,0 +1,71 @@
+"""Full-suite orchestration and pass-rate analysis."""
+
+import numpy as np
+import pytest
+
+from repro.nist.suite import (TEST_NAMES, NistSuiteReport, pass_rate_band,
+                              proportion_passing, run_all_tests)
+
+
+class TestRunAll:
+    def test_all_fifteen_named(self):
+        assert len(TEST_NAMES) == 15
+
+    def test_random_stream_runs_everything(self, random_bits_1mb):
+        report = run_all_tests(random_bits_1mb)
+        assert report.skipped == []
+        assert set(report.results) == set(TEST_NAMES)
+        assert report.passes_all()
+
+    def test_short_stream_skips_big_tests(self):
+        rng = np.random.default_rng(0)
+        report = run_all_tests(rng.integers(0, 2, 5000).astype(np.uint8))
+        assert "maurers_universal" in report.skipped
+        assert "monobit" in report.results
+
+    def test_subset_selection(self, random_bits_1mb):
+        report = run_all_tests(random_bits_1mb[:100000],
+                               tests=["monobit", "runs"])
+        assert set(report.results) == {"monobit", "runs"}
+
+    def test_unknown_test_rejected(self, random_bits_1mb):
+        with pytest.raises(KeyError):
+            run_all_tests(random_bits_1mb[:1000], tests=["bogus"])
+
+    def test_failing_listed(self):
+        rng = np.random.default_rng(2)
+        biased = (rng.random(100000) < 0.6).astype(np.uint8)
+        report = run_all_tests(biased, tests=["monobit", "runs"])
+        assert "monobit" in report.failing()
+        assert not report.passes_all()
+
+    def test_p_values_accessor(self, random_bits_1mb):
+        report = run_all_tests(random_bits_1mb[:100000], tests=["monobit"])
+        assert 0 <= report.p_values()["monobit"] <= 1
+
+
+class TestPassRate:
+    def test_paper_band_value(self):
+        # Section 7.1: 98.84% for k=1024, alpha=0.005.
+        assert pass_rate_band(1024) == pytest.approx(0.9884, abs=2e-4)
+
+    def test_band_tightens_with_k(self):
+        assert pass_rate_band(100) < pass_rate_band(10000)
+
+    def test_band_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            pass_rate_band(0)
+
+    def test_proportion_passing(self, random_bits_1mb):
+        quarters = np.array_split(random_bits_1mb[:400000], 4)
+        rate = proportion_passing(quarters, tests=["monobit", "runs"])
+        assert rate == 1.0
+
+    def test_proportion_passing_empty_rejected(self):
+        with pytest.raises(ValueError):
+            proportion_passing([])
+
+
+class TestReport:
+    def test_empty_report_passes(self):
+        assert NistSuiteReport().passes_all()

@@ -1,0 +1,146 @@
+"""SoftMC programs, host execution, temperature controller."""
+
+import numpy as np
+import pytest
+
+from repro.dram.sense_amplifier import empirical_entropy
+from repro.errors import ConfigurationError
+from repro.softmc.host import SoftMcHost
+from repro.softmc.instructions import (Instruction, InstructionKind,
+                                       SoftMcProgram)
+from repro.softmc.program import (quac_core_program,
+                                  quac_randomness_program,
+                                  row_initialization_program,
+                                  segment_readout_program)
+from repro.softmc.temperature_controller import TemperatureController
+
+
+class TestInstructions:
+    def test_act_requires_row(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(InstructionKind.ACT)
+
+    def test_wr_requires_data(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(InstructionKind.WR, column=0)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Instruction(InstructionKind.WAIT, delay_ns=-1.0)
+
+    def test_builder_chaining_and_duration(self):
+        program = (SoftMcProgram().act(0, 0, 5, delay_ns=10)
+                   .pre(0, 0, delay_ns=5).wait(7.5))
+        assert len(program) == 3
+        assert program.duration_ns() == pytest.approx(22.5)
+
+    def test_extend(self):
+        a = SoftMcProgram().wait(1.0)
+        b = SoftMcProgram().wait(2.0)
+        assert a.extend(b).duration_ns() == pytest.approx(3.0)
+
+
+class TestProgramBuilders:
+    def test_algorithm1_structure(self, module_m4, small_geometry):
+        addr = small_geometry.segment_address(0, 0, 5)
+        program = quac_randomness_program(small_geometry, module_m4.timing,
+                                          addr, "0111")
+        kinds = [i.kind for i in program.instructions]
+        # Init writes every block of four rows, then the violated trio,
+        # then a full read-out, then a legal close.
+        assert kinds.count(InstructionKind.WR) == \
+            4 * small_geometry.cache_blocks_per_row
+        assert kinds.count(InstructionKind.RD) == \
+            small_geometry.cache_blocks_per_row
+        assert kinds.count(InstructionKind.ACT) == 4 + 2
+
+    def test_quac_core_violates_timing(self, module_m4, small_geometry):
+        addr = small_geometry.segment_address(0, 0, 5)
+        core = quac_core_program(addr, module_m4.timing)
+        assert core.instructions[0].delay_ns == 2.5
+        assert core.instructions[1].delay_ns == 2.5
+
+    def test_quac_core_variant_rows(self, module_m4, small_geometry):
+        addr = small_geometry.segment_address(0, 0, 5)
+        v0 = quac_core_program(addr, module_m4.timing, variant=0)
+        v1 = quac_core_program(addr, module_m4.timing, variant=1)
+        assert v0.instructions[0].row == 20
+        assert v0.instructions[2].row == 23
+        assert v1.instructions[0].row == 21
+        assert v1.instructions[2].row == 22
+
+    def test_init_program_rejects_bad_pattern(self, module_m4,
+                                              small_geometry):
+        addr = small_geometry.segment_address(0, 0, 5)
+        with pytest.raises(ConfigurationError):
+            row_initialization_program(small_geometry, module_m4.timing,
+                                       addr, "01x1")
+
+
+class TestHostExecution:
+    def test_initialization_writes_rows(self, fresh_module):
+        geo = fresh_module.geometry
+        addr = geo.segment_address(0, 0, 3)
+        host = SoftMcHost(fresh_module)
+        host.execute(row_initialization_program(geo, fresh_module.timing,
+                                                addr, "0110"))
+        for offset, expected in enumerate("0110"):
+            row = fresh_module.read_stored_row(0, 0, 12 + offset)
+            assert (row == int(expected)).all()
+
+    def test_algorithm1_reads_full_segment(self, module_m4,
+                                           small_geometry):
+        addr = small_geometry.segment_address(1, 0, 5)
+        host = SoftMcHost(module_m4)
+        program = quac_randomness_program(small_geometry, module_m4.timing,
+                                          addr, "0111")
+        result = host.execute(program)
+        assert result.read_data.shape == (small_geometry.row_bits,)
+        assert result.duration_ns == pytest.approx(program.duration_ns())
+        # The trace must carry the two expected violations.
+        labels = " ".join(result.violations)
+        assert "tRAS" in labels and "tRP" in labels
+
+    def test_repeated_execution_measures_entropy(self, module_m13,
+                                                 small_geometry):
+        addr = small_geometry.segment_address(1, 1, 8)
+        host = SoftMcHost(module_m13)
+        program = quac_randomness_program(small_geometry,
+                                          module_m13.timing, addr, "0111")
+        data = host.execute_repeated(program, 40)
+        assert data.shape == (40, small_geometry.row_bits)
+        measured = empirical_entropy(data, axis=0).sum()
+        analytic = module_m13.segment_entropy_map(addr, "0111").sum()
+        assert measured == pytest.approx(analytic, rel=0.25)
+
+    def test_clock_advances(self, module_m4, small_geometry):
+        host = SoftMcHost(module_m4)
+        before = host.clock_ns
+        host.execute(SoftMcProgram().wait(100.0))
+        assert host.clock_ns == pytest.approx(before + 100.0)
+
+
+class TestTemperatureController:
+    def test_settles_within_tolerance(self, fresh_module):
+        controller = TemperatureController(fresh_module)
+        controller.set_target(65.0)
+        steps = controller.settle()
+        assert steps > 0
+        assert abs(fresh_module.temperature_c - 65.0) <= 0.1
+
+    def test_retargeting(self, fresh_module):
+        controller = TemperatureController(fresh_module)
+        controller.set_target(50.0)
+        controller.settle()
+        controller.set_target(85.0)
+        controller.settle()
+        assert abs(fresh_module.temperature_c - 85.0) <= 0.1
+
+    def test_cannot_cool_below_ambient(self, fresh_module):
+        controller = TemperatureController(fresh_module, ambient_c=25.0)
+        with pytest.raises(ConfigurationError):
+            controller.set_target(10.0)
+
+    def test_bad_period_rejected(self, fresh_module):
+        with pytest.raises(ConfigurationError):
+            TemperatureController(fresh_module, step_s=0.0)

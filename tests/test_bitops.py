@@ -1,0 +1,83 @@
+"""Bit-array utilities."""
+
+import numpy as np
+import pytest
+
+from repro import bitops
+from repro.errors import BitstreamError
+
+
+def test_pack_unpack_round_trip():
+    rng = np.random.default_rng(0)
+    bits = rng.integers(0, 2, 75).astype(np.uint8)
+    packed = bitops.pack_bits(bits)
+    unpacked = bitops.unpack_bits(packed, 75)
+    np.testing.assert_array_equal(bits, unpacked)
+
+
+def test_pack_msb_first():
+    assert bitops.pack_bits(np.array([1, 0, 0, 0, 0, 0, 0, 0],
+                                     dtype=np.uint8)) == b"\x80"
+
+
+def test_unpack_default_length():
+    assert bitops.unpack_bits(b"\xff").tolist() == [1] * 8
+
+
+def test_unpack_rejects_overrun():
+    with pytest.raises(BitstreamError):
+        bitops.unpack_bits(b"\x00", 9)
+
+
+def test_ensure_bits_rejects_non_binary():
+    with pytest.raises(BitstreamError):
+        bitops.ensure_bits(np.array([0, 1, 2]))
+
+
+def test_ensure_bits_rejects_2d():
+    with pytest.raises(BitstreamError):
+        bitops.ensure_bits(np.zeros((2, 2)))
+
+
+def test_bits_to_int_big_endian():
+    assert bitops.bits_to_int(np.array([1, 0, 1], dtype=np.uint8)) == 5
+
+
+def test_int_to_bits_round_trip():
+    bits = bitops.int_to_bits(1234, 16)
+    assert bitops.bits_to_int(bits) == 1234
+
+
+def test_int_to_bits_rejects_overflow():
+    with pytest.raises(BitstreamError):
+        bitops.int_to_bits(256, 8)
+
+
+def test_int_to_bits_rejects_negative():
+    with pytest.raises(BitstreamError):
+        bitops.int_to_bits(-1, 8)
+
+
+def test_chunks_drops_partial_by_default():
+    chunks = list(bitops.chunks(np.zeros(10, dtype=np.uint8), 4))
+    assert [c.size for c in chunks] == [4, 4]
+
+
+def test_chunks_keeps_partial_when_asked():
+    chunks = list(bitops.chunks(np.zeros(10, dtype=np.uint8), 4,
+                                drop_partial=False))
+    assert [c.size for c in chunks] == [4, 4, 2]
+
+
+def test_chunks_rejects_bad_size():
+    with pytest.raises(BitstreamError):
+        list(bitops.chunks(np.zeros(4, dtype=np.uint8), 0))
+
+
+def test_bias():
+    assert bitops.bias(np.array([1, 1, 0, 0], dtype=np.uint8)) == 0.5
+
+
+def test_bias_empty_raises():
+    with pytest.raises(BitstreamError):
+        bitops.bias(np.zeros(0, dtype=np.uint8))

@@ -1,0 +1,59 @@
+"""Exception hierarchy and the experiment runner CLI."""
+
+import pytest
+
+from repro import errors
+from repro.experiments.runner import main
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigurationError", "AddressError",
+                     "TimingViolationError", "ProtocolError",
+                     "CharacterizationError", "InsufficientEntropyError",
+                     "BitstreamError"):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_address_error_is_value_error(self):
+        # Callers using stdlib idioms still catch it.
+        assert issubclass(errors.AddressError, ValueError)
+
+    def test_bitstream_error_is_value_error(self):
+        assert issubclass(errors.BitstreamError, ValueError)
+
+    def test_timing_violation_carries_context(self):
+        error = errors.TimingViolationError(
+            "tRAS violated", parameter="tRAS", required_ns=32.0,
+            actual_ns=2.5)
+        assert error.parameter == "tRAS"
+        assert error.required_ns == 32.0
+        assert error.actual_ns == 2.5
+
+
+class TestRunnerCli:
+    def test_single_experiment(self, capsys):
+        assert main(["--only", "fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10" in out
+        assert "completed in" in out
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--scale", "huge"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            main(["--only", "fig99"])
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"

@@ -1,0 +1,154 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro import bitops
+from repro.crypto.sha256 import sha256_digest
+from repro.crypto.von_neumann import von_neumann_correct
+from repro.dram.sense_amplifier import (bernoulli_entropy,
+                                        settle_probability)
+from repro.dram.wordline import RowDecoder, select_lines_from_latches
+from repro.dram.timing import speed_grade
+from repro.entropy.blocks import plan_entropy_blocks
+from repro.nist.matrix import gf2_rank
+
+bit_arrays = arrays(np.uint8, st.integers(0, 256),
+                    elements=st.integers(0, 1))
+
+
+class TestBitopsProperties:
+    @given(bit_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trip(self, bits):
+        packed = bitops.pack_bits(bits)
+        np.testing.assert_array_equal(
+            bitops.unpack_bits(packed, bits.size), bits)
+
+    @given(st.integers(0, 2 ** 30), st.integers(31, 40))
+    @settings(max_examples=60, deadline=None)
+    def test_int_bits_round_trip(self, value, width):
+        assert bitops.bits_to_int(bitops.int_to_bits(value, width)) == value
+
+
+class TestSha256Properties:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_hashlib_everywhere(self, data):
+        import hashlib
+        assert sha256_digest(data) == hashlib.sha256(data).digest()
+
+    @given(st.binary(min_size=1, max_size=100))
+    @settings(max_examples=30, deadline=None)
+    def test_avalanche(self, data):
+        # Flipping one input bit changes roughly half the digest bits.
+        flipped = bytearray(data)
+        flipped[0] ^= 1
+        a = np.unpackbits(np.frombuffer(sha256_digest(data), np.uint8))
+        b = np.unpackbits(np.frombuffer(sha256_digest(bytes(flipped)),
+                                        np.uint8))
+        assert 0.2 < (a != b).mean() < 0.8
+
+
+class TestVonNeumannProperties:
+    @given(bit_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_output_never_longer_than_half(self, bits):
+        assert von_neumann_correct(bits).size <= bits.size // 2
+
+    @given(bit_arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_output_is_binary(self, bits):
+        out = von_neumann_correct(bits)
+        assert out.dtype == np.uint8
+        if out.size:
+            assert set(np.unique(out)) <= {0, 1}
+
+    @given(bit_arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_invariant_under_complement(self, bits):
+        # Complementing the input complements the output.
+        out = von_neumann_correct(bits)
+        complemented = von_neumann_correct(1 - bits)
+        np.testing.assert_array_equal(1 - out, complemented)
+
+
+class TestEntropyProperties:
+    @given(arrays(np.float64, st.integers(1, 64),
+                  elements=st.floats(0.0, 1.0)))
+    @settings(max_examples=80, deadline=None)
+    def test_entropy_bounds(self, p):
+        h = bernoulli_entropy(p)
+        assert (h >= 0).all() and (h <= 1.0 + 1e-12).all()
+
+    @given(arrays(np.float64, st.integers(1, 64),
+                  elements=st.floats(-8.0, 8.0)))
+    @settings(max_examples=80, deadline=None)
+    def test_settle_probability_bounds(self, z):
+        p = settle_probability(z)
+        assert (p >= 0).all() and (p <= 1).all()
+
+    @given(arrays(np.float64, st.integers(1, 64),
+                  elements=st.floats(0.0, 600.0)),
+           st.floats(1.0, 512.0))
+    @settings(max_examples=80, deadline=None)
+    def test_block_plans_partition_and_meet_budget(self, entropies,
+                                                   budget):
+        plans = plan_entropy_blocks(entropies, budget)
+        cursor = 0
+        for plan in plans:
+            assert plan.start == cursor          # contiguous, in order
+            assert plan.stop > plan.start
+            assert plan.entropy_bits >= budget   # every block is funded
+            assert plan.entropy_bits == pytest.approx(
+                entropies[plan.start:plan.stop].sum())
+            cursor = plan.stop
+        assert cursor <= entropies.size
+
+
+class TestGf2RankProperties:
+    @given(st.integers(1, 12), st.integers(1, 12), st.integers(0, 10000))
+    @settings(max_examples=60, deadline=None)
+    def test_rank_bounds(self, rows, cols, seed):
+        mat = np.random.default_rng(seed).integers(
+            0, 2, (rows, cols)).astype(np.uint8)
+        r = gf2_rank(mat)
+        assert 0 <= r <= min(rows, cols)
+
+    @given(st.integers(2, 10), st.integers(0, 10000))
+    @settings(max_examples=40, deadline=None)
+    def test_duplicating_a_row_never_raises_rank(self, n, seed):
+        mat = np.random.default_rng(seed).integers(
+            0, 2, (n, n)).astype(np.uint8)
+        duplicated = np.vstack([mat, mat[0]])
+        assert gf2_rank(duplicated) == gf2_rank(mat)
+
+
+class TestDecoderProperties:
+    @given(st.booleans(), st.booleans(), st.booleans(), st.booleans())
+    def test_select_lines_consistent_with_truth_table(self, a0, a0b, a1,
+                                                      a1b):
+        lines = select_lines_from_latches(a0, a0b, a1, a1b)
+        assert (0 in lines) == (a0b and a1b)
+        assert (1 in lines) == (a0 and a1b)
+        assert (2 in lines) == (a0b and a1)
+        assert (3 in lines) == (a0 and a1)
+
+    @given(st.integers(0, 3), st.integers(0, 3))
+    @settings(max_examples=64, deadline=None)
+    def test_quac_iff_inverted_lsbs(self, first, second):
+        # The paper's Section 4 observation, as an exhaustive property:
+        # the violated trio opens all four rows iff the two ACT targets
+        # have complementary LSBs.
+        decoder = RowDecoder(speed_grade(2400))
+        decoder.on_activate(first, 0.0)
+        decoder.on_precharge(2.5)
+        open_rows = decoder.on_activate(second, 5.0)
+        if second == 3 - first:
+            assert open_rows == frozenset({0, 1, 2, 3})
+        else:
+            assert open_rows != frozenset({0, 1, 2, 3})

@@ -1,0 +1,49 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_ns_seconds_round_trip():
+    assert units.s_to_ns(units.ns_to_s(1234.5)) == pytest.approx(1234.5)
+
+
+def test_bits_per_ns_to_gbps_basic():
+    # 1000 bits every 1000 ns is exactly 1 Gb/s.
+    assert units.bits_per_ns_to_gbps(1000, 1000.0) == pytest.approx(1.0)
+
+
+def test_bits_per_ns_to_gbps_paper_formula():
+    # Section 7.2: 256 x SIB bits in L ns.  7 SIBs in 2000 ns ~ 0.896 Gb/s.
+    assert units.bits_per_ns_to_gbps(256 * 7, 2000.0) == pytest.approx(0.896)
+
+
+def test_bits_per_ns_rejects_nonpositive_latency():
+    with pytest.raises(ValueError):
+        units.bits_per_ns_to_gbps(100, 0.0)
+
+
+def test_transfer_period_ddr4_2400():
+    # 2400 MT/s: one beat every ~0.4167 ns.
+    assert units.transfer_period_ns(2400) == pytest.approx(1e3 / 2400)
+
+
+def test_transfer_period_rejects_nonpositive():
+    with pytest.raises(ValueError):
+        units.transfer_period_ns(0)
+
+
+def test_burst_duration_bl8_2400():
+    # BL8 at 2400 MT/s: 8 beats x 0.4167 ns = 3.33 ns.
+    assert units.burst_duration_ns(2400) == pytest.approx(10.0 / 3.0)
+
+
+def test_burst_duration_scales_inversely_with_rate():
+    assert units.burst_duration_ns(4800) == pytest.approx(
+        units.burst_duration_ns(2400) / 2)
+
+
+def test_gbps_mbps():
+    assert units.gbps(3.44e9) == pytest.approx(3.44)
+    assert units.mbps(2.17e6) == pytest.approx(2.17)
