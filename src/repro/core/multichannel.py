@@ -13,11 +13,12 @@ channel SIB counts differ and the round-robin order matters for fairness
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.trng import QuacTrng
+from repro.bitops import BitBuffer
+from repro.core.trng import MAX_BATCH_ITERATIONS, QuacTrng
 from repro.core.throughput import TrngConfiguration
 from repro.dram.device import BEST_DATA_PATTERN, DramModule
 from repro.errors import ConfigurationError, InsufficientEntropyError
@@ -45,6 +46,7 @@ class SystemTrng:
             for module in modules
         ]
         self._next_channel = 0
+        self._pool = BitBuffer()
 
     @property
     def n_channels(self) -> int:
@@ -66,25 +68,47 @@ class SystemTrng:
         """Harvest ``n_bits`` round-robin across the channels.
 
         Channels are visited in rotation so sustained draws spread work
-        evenly; each visit contributes one full iteration.
+        evenly; each visit contributes a *batch* of iterations sized to
+        the channel's fair share of the outstanding deficit, drawn
+        through :meth:`QuacTrng.batch_iterations`.  Surplus conditioned
+        bits are pooled and served first on the next call -- nothing is
+        regenerated or discarded.
         """
         if n_bits < 0:
             raise InsufficientEntropyError("bit count must be non-negative")
-        parts: List[np.ndarray] = []
-        collected = 0
-        while collected < n_bits:
-            trng = self.channels[self._next_channel]
-            self._next_channel = (self._next_channel + 1) % self.n_channels
-            bits, _latency = trng.iteration()
-            parts.append(bits)
-            collected += bits.size
-        stream = np.concatenate(parts)
-        return stream[:n_bits]
+        self._refill(n_bits)
+        return self._pool.take(n_bits)
 
     def random_bytes(self, n_bytes: int) -> bytes:
-        """Harvest ``n_bytes`` of conditioned output."""
-        from repro.bitops import pack_bits
-        return pack_bits(self.random_bits(8 * n_bytes))
+        """Harvest ``n_bytes`` of conditioned output (packed byte path)."""
+        if n_bytes < 0:
+            raise InsufficientEntropyError("byte count must be non-negative")
+        self._refill(8 * n_bytes)
+        return self._pool.take_bytes(n_bytes)
+
+    def _refill(self, n_bits: int) -> None:
+        """Top the pool up to ``n_bits``, rotating batched channel draws."""
+        while len(self._pool) < n_bits:
+            deficit = n_bits - len(self._pool)
+            trng = self.channels[self._next_channel]
+            self._next_channel = (self._next_channel + 1) % self.n_channels
+            share = -(-deficit // self.n_channels)
+            count = max(1, min(MAX_BATCH_ITERATIONS,
+                               -(-share // trng.bits_per_iteration)))
+            bits, _latency = trng.batch_iterations(count)
+            self._pool.append(bits)
+
+    def iter_bytes(self, chunk_size: int) -> Iterator[bytes]:
+        """Stream conditioned output as ``chunk_size``-byte chunks.
+
+        An endless generator for bulk consumers; every chunk is
+        harvested through the batched round-robin path.
+        """
+        if chunk_size <= 0:
+            raise ConfigurationError(
+                f"chunk size must be positive, got {chunk_size}")
+        while True:
+            yield self.random_bytes(chunk_size)
 
 
 def reference_system(modules: Optional[Sequence[DramModule]] = None,

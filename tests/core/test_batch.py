@@ -1,0 +1,153 @@
+"""Batched generation: equivalence with the per-iteration path.
+
+The batched engine must be a pure speedup, not a different generator:
+batch size 1 is bit-identical to :meth:`QuacTrng.iteration`, and larger
+batches (which consume the thermal-noise streams in a different order)
+must agree distributionally -- checked with the NIST frequency and runs
+tests on bulk streams from both paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.trng import MAX_BATCH_ITERATIONS, QuacTrng
+from repro.errors import ConfigurationError
+from repro.nist.suite import run_all_tests
+
+
+@pytest.fixture()
+def make_trng(module_m13, small_geometry):
+    scale = small_geometry.row_bits / 65536
+
+    def build(**kwargs):
+        return QuacTrng(module_m13, entropy_per_block=256.0 * scale,
+                        **kwargs)
+
+    return build
+
+
+class TestBatchIdentity:
+    def test_batch_one_bit_identical_to_iteration(self, make_trng):
+        sequential = make_trng()
+        batched = make_trng()
+        for _ in range(3):   # identity must hold across the counter state
+            seq_bits, seq_latency = sequential.iteration()
+            batch_bits, batch_latency = batched.batch_iterations(1)
+            assert batch_bits.shape == (1, sequential.bits_per_iteration)
+            np.testing.assert_array_equal(batch_bits[0], seq_bits)
+            assert batch_latency == pytest.approx(seq_latency)
+
+    def test_first_batch_row_matches_first_iteration(self, make_trng):
+        # Batch n shares the first per-bank draw with the sequential
+        # path, so row 0 is bit-identical even for n > 1.
+        seq_bits, _ = make_trng().iteration()
+        batch_bits, _ = make_trng().batch_iterations(5)
+        np.testing.assert_array_equal(batch_bits[0], seq_bits)
+
+    def test_batch_shape_and_latency(self, make_trng):
+        trng = make_trng()
+        bits, latency = trng.batch_iterations(7)
+        assert bits.shape == (7, trng.bits_per_iteration)
+        assert latency == pytest.approx(7 * trng.iteration_latency_ns)
+
+    def test_batch_rows_are_distinct(self, make_trng):
+        bits, _ = make_trng().batch_iterations(4)
+        for i in range(3):
+            assert not np.array_equal(bits[i], bits[i + 1])
+
+    def test_builtin_sha_batch_matches_hashlib_batch(self, make_trng):
+        fast, _ = make_trng().batch_iterations(2)
+        builtin, _ = make_trng(use_builtin_sha=True).batch_iterations(2)
+        np.testing.assert_array_equal(fast, builtin)
+
+    def test_nonpositive_batch_rejected(self, make_trng):
+        trng = make_trng()
+        with pytest.raises(ConfigurationError):
+            trng.batch_iterations(0)
+        with pytest.raises(ConfigurationError):
+            trng.batch_iterations(-3)
+
+
+class TestBatchStatisticalAgreement:
+    N_BITS = 120_000
+
+    def _sequential_stream(self, trng, n_bits):
+        parts, have = [], 0
+        while have < n_bits:
+            bits, _ = trng.iteration()
+            parts.append(bits)
+            have += bits.size
+        return np.concatenate(parts)[:n_bits]
+
+    def test_nist_frequency_and_runs_agree(self, make_trng):
+        sequential = self._sequential_stream(make_trng(), self.N_BITS)
+        batched = make_trng().random_bits(self.N_BITS)
+        for stream in (sequential, batched):
+            report = run_all_tests(stream, tests=["monobit", "runs"])
+            assert report.passes_all(), report.failing()
+        # The two paths draw the same per-bitline distribution: their
+        # one-fractions agree within tight binomial noise.
+        assert abs(sequential.mean() - batched.mean()) < 0.01
+
+
+class TestBatchedRandomBits:
+    def test_exact_length_and_pooling(self, make_trng):
+        trng = make_trng()
+        out = trng.random_bits(10_000)
+        assert out.size == 10_000
+        pooled = len(trng._pool)
+        assert 0 < pooled < trng.bits_per_iteration
+
+    def test_pool_serves_next_draw_without_regeneration(self, make_trng):
+        trng = make_trng()
+        trng.random_bits(trng.bits_per_iteration // 2)
+        counter = trng.executor._direct_counter
+        again = trng.random_bits(100)
+        assert trng.executor._direct_counter == counter
+        assert again.size == 100
+
+    def test_consecutive_draws_are_distinct(self, make_trng):
+        trng = make_trng()
+        first = trng.random_bits(5000)
+        second = trng.random_bits(5000)
+        assert not np.array_equal(first, second)
+
+    def test_small_draw_matches_sequential_path(self, make_trng):
+        # Sub-iteration draws batch exactly one iteration, so the whole
+        # stream is bit-identical to the seed's per-iteration pooling.
+        sequential = self._reference_stream(make_trng(), [100, 300, 50])
+        trng = make_trng()
+        batched = np.concatenate(
+            [trng.random_bits(n) for n in (100, 300, 50)])
+        np.testing.assert_array_equal(batched, sequential)
+
+    def _reference_stream(self, trng, draws):
+        out = []
+        pool = np.zeros(0, dtype=np.uint8)
+        for n in draws:
+            while pool.size < n:
+                bits, _ = trng.iteration()
+                pool = np.concatenate([pool, bits])
+            out.append(pool[:n])
+            pool = pool[n:]
+        return np.concatenate(out)
+
+    def test_large_draw_is_chunked(self, make_trng):
+        trng = make_trng()
+        n_bits = trng.bits_per_iteration * 3 + 17
+        out = trng.random_bits(n_bits)
+        assert out.size == n_bits
+        assert MAX_BATCH_ITERATIONS >= 3  # the cap exists and is sane
+
+
+class TestIterBytes:
+    def test_streams_chunks(self, make_trng):
+        trng = make_trng()
+        stream = trng.iter_bytes(64)
+        chunks = [next(stream) for _ in range(3)]
+        assert all(len(c) == 64 for c in chunks)
+        assert chunks[0] != chunks[1]
+
+    def test_chunk_size_validated(self, make_trng):
+        with pytest.raises(ConfigurationError):
+            next(make_trng().iter_bytes(0))

@@ -40,6 +40,43 @@ class TestSystemTrng:
     def test_random_bytes(self, system):
         assert len(system.random_bytes(64)) == 64
 
+    def test_surplus_bits_are_pooled_not_discarded(self, system):
+        # A draw leaves the iteration surplus in the pool; the next
+        # draw must be served from it without touching the hardware.
+        system.random_bits(100)   # leaves a large surplus pooled
+        assert len(system._pool) > 0
+        counters = [t.executor._direct_counter for t in system.channels]
+        again = system.random_bits(200)
+        assert again.size == 200
+        assert [t.executor._direct_counter
+                for t in system.channels] == counters
+
+    def test_consecutive_draws_are_distinct(self, system):
+        first = system.random_bits(2000)
+        second = system.random_bits(2000)
+        assert not np.array_equal(first, second)
+
+    def test_bulk_draw_batches_across_channels(self, system):
+        # A request far beyond one system iteration must spread over
+        # every channel (each batches its fair share).
+        system._pool.clear()
+        counters = [t.executor._direct_counter for t in system.channels]
+        bulk = system.random_bits(6 * system.bits_per_system_iteration())
+        assert bulk.size == 6 * system.bits_per_system_iteration()
+        advanced = [t.executor._direct_counter - c
+                    for t, c in zip(system.channels, counters)]
+        assert all(a > 0 for a in advanced)
+
+    def test_iter_bytes_streams_chunks(self, system):
+        stream = system.iter_bytes(32)
+        chunks = [next(stream) for _ in range(3)]
+        assert all(len(c) == 32 for c in chunks)
+        assert len(set(chunks)) == 3
+
+    def test_iter_bytes_validates_chunk_size(self, system):
+        with pytest.raises(ConfigurationError):
+            next(system.iter_bytes(0))
+
     def test_channels_produce_distinct_streams(self, system):
         a, _ = system.channels[0].iteration()
         b, _ = system.channels[1].iteration()

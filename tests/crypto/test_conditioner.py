@@ -9,7 +9,7 @@ from repro.crypto.conditioner import (RawConditioner, SHA256_HW_AREA_MM2,
                                       Sha256Conditioner,
                                       VonNeumannConditioner)
 from repro.crypto.sha256 import sha256_bits
-from repro.errors import InsufficientEntropyError
+from repro.errors import BitstreamError, InsufficientEntropyError
 
 
 class TestHardwareConstants:
@@ -75,3 +75,57 @@ class TestSha256Conditioner:
     def test_rejects_nonpositive_entropy_budget(self):
         with pytest.raises(InsufficientEntropyError):
             Sha256Conditioner(entropy_per_block=0.0)
+
+    def test_builtin_and_hashlib_paths_identical(self):
+        rng = np.random.default_rng(11)
+        bits = rng.integers(0, 2, 700).astype(np.uint8)
+        fast = Sha256Conditioner().condition(bits)
+        builtin = Sha256Conditioner(use_builtin=True).condition(bits)
+        np.testing.assert_array_equal(fast, builtin)
+
+
+class TestConditionMany:
+    def _blocks(self, n=5, width=384, seed=0):
+        rng = np.random.default_rng(seed)
+        return rng.integers(0, 2, (n, width)).astype(np.uint8)
+
+    def test_sha_bulk_matches_per_block(self):
+        blocks = self._blocks()
+        model = Sha256Conditioner()
+        bulk = model.condition_many(blocks)
+        loop = np.concatenate([model.condition(b) for b in blocks])
+        np.testing.assert_array_equal(bulk, loop)
+
+    def test_sha_bulk_matches_builtin(self):
+        blocks = self._blocks(seed=1)
+        fast = Sha256Conditioner().condition_many(blocks)
+        builtin = Sha256Conditioner(use_builtin=True).condition_many(blocks)
+        np.testing.assert_array_equal(fast, builtin)
+
+    def test_sha_output_shape(self):
+        out = Sha256Conditioner().condition_many(self._blocks(n=7))
+        assert out.shape == (7 * 256,)
+
+    def test_raw_bulk_is_flattened_identity(self):
+        blocks = self._blocks(n=3, width=8, seed=2)
+        out = RawConditioner().condition_many(blocks)
+        np.testing.assert_array_equal(out, blocks.reshape(-1))
+
+    def test_vnc_bulk_concatenates_per_block_outputs(self):
+        blocks = np.array([[0, 1, 1, 0], [1, 0, 0, 1]], dtype=np.uint8)
+        out = VonNeumannConditioner().condition_many(blocks)
+        assert out.tolist() == [1, 0, 0, 1]
+
+    def test_empty_matrix(self):
+        empty = np.zeros((0, 64), dtype=np.uint8)
+        assert Sha256Conditioner().condition_many(empty).size == 0
+        assert RawConditioner().condition_many(empty).size == 0
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(BitstreamError):
+            Sha256Conditioner().condition_many(np.zeros(8, dtype=np.uint8))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(BitstreamError):
+            Sha256Conditioner().condition_many(
+                np.full((2, 8), 3, dtype=np.uint8))
