@@ -10,7 +10,10 @@ core generator:
 2. a :class:`HealthMonitor` watching the raw read-outs, demonstrated
    catching a sabotaged (deterministic) segment;
 3. a min-entropy assessment (SP 800-90B estimators) of the conditioned
-   output.
+   output;
+4. a monitored multi-channel system harvesting all channels in parallel
+   on a thread-pool backend, surviving one channel going dead without
+   losing the healthy channels' pooled bits.
 
 Run:  python examples/production_hardening.py
 """
@@ -18,10 +21,14 @@ Run:  python examples/production_hardening.py
 import numpy as np
 
 from repro.core.health import HealthMonitor, HealthTestFailure, MonitoredTrng
+from repro.core.multichannel import SystemTrng
+from repro.core.parallel import ThreadPoolBackend
 from repro.core.temperature_manager import TemperatureManagedTrng
 from repro.core.trng import QuacTrng
 from repro.dram.geometry import DramGeometry
-from repro.dram.module_factory import build_module, spec_by_name
+from repro.dram.module_factory import (build_module,
+                                       build_table3_population,
+                                       spec_by_name)
 from repro.entropy.min_entropy import assess
 from repro.softmc.temperature_controller import TemperatureController
 
@@ -75,6 +82,27 @@ def main() -> None:
     print("\nSP 800-90B-style assessment of the conditioned stream:")
     for name, value in report.items():
         print(f"  {name:20s} {value:.3f} bits/bit")
+
+    # --- 4. monitored parallel system surviving a channel failure ------
+    modules = build_table3_population(geometry, names=["M13", "M4"])
+    monitors = [HealthMonitor(claimed_min_entropy=0.01,
+                              consecutive_failures_to_alarm=2)
+                for _ in modules]
+    with ThreadPoolBackend(4) as backend:
+        system = SystemTrng(modules, entropy_per_block=entropy_budget,
+                            backend=backend, monitors=monitors)
+        bits = system.random_bits(2 * system.bits_per_system_iteration())
+        print(f"\nmonitored 2-channel system on {backend!r}: "
+              f"{bits.size} bits, bias {bits.mean():.3f}, "
+              f"{sum(m.samples_checked for m in monitors)} raw samples "
+              f"checked")
+        system.channels[1].data_pattern = "1111"   # channel 1 dies
+        try:
+            system.random_bits(4 * system.bits_per_system_iteration())
+        except HealthTestFailure as failure:
+            print(f"channel 1 caught dead: {failure}")
+            print(f"healthy channel's bits kept pooled: "
+                  f"{system.pooled_bits} bits still serveable")
 
 
 if __name__ == "__main__":

@@ -4,12 +4,19 @@
   simulated module (both the SoftMC-faithful and the fast direct path);
 * :mod:`repro.core.trng` -- the end-to-end generator: characterization,
   segment initialization, QUAC, SIB splitting, SHA-256 conditioning;
+* :mod:`repro.core.parallel` -- pluggable serial / thread-pool /
+  process-pool execution backends for the batched engine's per-bank
+  fan-out (bit-identical across backends and worker counts);
 * :mod:`repro.core.throughput` -- iteration latency and throughput from
   tightly-scheduled command sequences (Sections 7.2 / 7.4 / Figure 13);
 * :mod:`repro.core.overheads` -- memory / storage / area accounting
   (Section 9).
 """
 
+from repro.core.parallel import (BankResult, BankTask, ExecutionBackend,
+                                 ProcessPoolBackend, SerialBackend,
+                                 ThreadPoolBackend, available_backends,
+                                 resolve_backend, run_bank_task)
 from repro.core.quac import QuacExecutor
 from repro.core.throughput import (QuacThroughputModel, IterationBreakdown,
                                    TrngConfiguration,
@@ -22,6 +29,15 @@ from repro.core.health import (HealthMonitor, HealthTestFailure,
 from repro.core.temperature_manager import TemperatureManagedTrng
 
 __all__ = [
+    "BankResult",
+    "BankTask",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "available_backends",
+    "resolve_backend",
+    "run_bank_task",
     "QuacExecutor",
     "QuacTrng",
     "TrngConfiguration",

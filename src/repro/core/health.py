@@ -16,7 +16,12 @@ raw source output, both implemented here:
 failure statistics; :class:`MonitoredTrng` wraps a
 :class:`~repro.core.trng.QuacTrng` so every iteration's *raw* segment
 read-out is health-checked before conditioning, mirroring where the
-tests sit in a real pipeline.
+tests sit in a real pipeline.  Monitoring is batch-friendly:
+:meth:`HealthMonitor.check_many` vectorizes both tests over a whole
+read-out matrix while accounting rows exactly as a loop of
+:meth:`HealthMonitor.check` calls would, which is what lets
+:class:`MonitoredTrng` harvest through the parallel batched engine
+instead of one iteration at a time.
 """
 
 from __future__ import annotations
@@ -26,13 +31,29 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.bitops import ensure_bits
-from repro.core.trng import QuacTrng
-from repro.errors import ConfigurationError, ReproError
+from repro.bitops import BitBuffer, is_binary
+from repro.core.trng import QuacTrng, harvest_into
+from repro.errors import (BitstreamError, ConfigurationError,
+                          ReproError)
 
 
 class HealthTestFailure(ReproError):
     """A continuous health test rejected the raw source output."""
+
+
+#: Cap on raw read-out bytes hauled back per monitored batch (~64 MB):
+#: unlike the plain batched path, monitored harvests carry every bank's
+#: full raw matrix alongside the conditioned bits (and pickle it across
+#: process-pool boundaries), so bulk draws are sized by raw volume, not
+#: just by :data:`~repro.core.trng.MAX_BATCH_ITERATIONS`.
+MAX_MONITORED_RAW_BYTES = 64 * 1024 * 1024
+
+
+def monitored_batch_cap(trng: QuacTrng) -> int:
+    """Iterations per monitored batch keeping raw volume bounded."""
+    raw_bytes_per_iteration = \
+        trng.configuration.n_banks * trng.module.geometry.row_bits
+    return max(1, MAX_MONITORED_RAW_BYTES // raw_bytes_per_iteration)
 
 
 def repetition_count_cutoff(min_entropy_per_bit: float,
@@ -117,51 +138,114 @@ class HealthMonitor:
         ``consecutive_failures_to_alarm`` consecutive unhealthy blocks
         (one failure may be bad luck; a streak is a broken source).
         """
-        arr = ensure_bits(raw_bits)
-        self.samples_checked += int(arr.size)
-        healthy = True
-        if not self._repetition_count_ok(arr):
-            self.rct_failures += 1
-            healthy = False
-        if not self._adaptive_proportion_ok(arr):
-            self.apt_failures += 1
-            healthy = False
-        if healthy:
-            self._consecutive = 0
-            return True
-        self._consecutive += 1
-        if self._consecutive >= self.consecutive_failures_to_alarm:
-            raise HealthTestFailure(
-                f"health tests failed {self._consecutive} consecutive "
-                f"blocks (RCT cutoff {self.rct_cutoff}, APT cutoff "
-                f"{self.apt_cutoff}/{self.window})")
-        return False
+        arr = np.asarray(raw_bits)
+        if arr.ndim != 1:
+            raise BitstreamError(
+                f"raw block must be 1-D, got shape {arr.shape}")
+        return bool(self.check_many(arr)[0])
+
+    def check_many(self, raw_matrix: np.ndarray) -> np.ndarray:
+        """Run both tests over every row of a raw block matrix.
+
+        The batched-harvest counterpart of :meth:`check`: the expensive
+        per-row statistics (longest run, per-window dominant-value
+        counts) are computed vectorized over the whole matrix, then the
+        rows are *accounted* in order exactly as a loop of
+        :meth:`check` calls would -- same failure counters, same
+        consecutive-failure streak, and the same
+        :class:`HealthTestFailure` raised at the same row (rows past
+        the alarm stay uncounted, as they would be unreached).
+
+        Returns the per-row health verdicts as a boolean array when no
+        alarm fires.
+        """
+        matrix = np.atleast_2d(np.asarray(raw_matrix))
+        if matrix.ndim != 2:
+            raise BitstreamError(
+                f"raw block matrix must be 2-D, got shape {matrix.shape}")
+        if matrix.size and not is_binary(matrix):
+            raise BitstreamError("bitstream values must be 0 or 1")
+        matrix = matrix.astype(np.uint8, copy=False)
+        n_blocks, block_bits = matrix.shape
+        rct_ok = self._repetition_count_ok_rows(matrix)
+        apt_ok = self._adaptive_proportion_ok_rows(matrix)
+        healthy = rct_ok & apt_ok
+        for row in range(n_blocks):
+            self.samples_checked += block_bits
+            if not rct_ok[row]:
+                self.rct_failures += 1
+            if not apt_ok[row]:
+                self.apt_failures += 1
+            if healthy[row]:
+                self._consecutive = 0
+                continue
+            self._consecutive += 1
+            if self._consecutive >= self.consecutive_failures_to_alarm:
+                raise HealthTestFailure(
+                    f"health tests failed {self._consecutive} consecutive "
+                    f"blocks (RCT cutoff {self.rct_cutoff}, APT cutoff "
+                    f"{self.apt_cutoff}/{self.window})")
+        return healthy
+
+    def check_bank_results(self, results, iterations: int) -> np.ndarray:
+        """Monitor per-bank batch results in per-iteration order.
+
+        ``results`` are the :class:`~repro.core.parallel.BankResult`\\ s
+        of one batch planned with ``collect_raw=True``; their raw
+        matrices are interleaved iteration-major / bank-minor -- the
+        exact order a loop of per-iteration harvests would present raw
+        blocks to :meth:`check` -- and fed through :meth:`check_many`.
+        The one place the ordering contract lives, shared by every
+        monitored batched path.
+        """
+        raw = np.stack([result.raw for result in results], axis=1)
+        return self.check_many(
+            raw.reshape(iterations * len(results), -1))
 
     # ------------------------------------------------------------------
 
-    def _repetition_count_ok(self, arr: np.ndarray) -> bool:
-        """Longest run of identical bits must stay under the cutoff.
+    #: Row-chunking bound for the vectorized RCT: the int32 run-length
+    #: temporaries stay under ~32 MB however wide or tall the batch is.
+    _RCT_CHUNK_ELEMENTS = 4 * 1024 * 1024
+
+    def _repetition_count_ok_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Longest run of identical bits per row, against the cutoff.
 
         With low credited entropy the cutoff is long (e.g. H=0.02 ->
         C=1001): runs of deterministic bitlines inside one read-out are
-        expected; a kilobit-long constant run is not.
+        expected; a kilobit-long constant run is not.  Vectorized per
+        row chunk -- the run length at each position is the distance to
+        the most recent value change in that row -- with chunking
+        keeping the integer temporaries bounded for full-scale batches
+        (a (4096, 65536) read-out matrix would otherwise materialize
+        multi-GiB position arrays).
         """
-        if arr.size == 0:
-            return True
-        changes = np.flatnonzero(np.diff(arr))
-        boundaries = np.concatenate([[-1], changes, [arr.size - 1]])
-        longest = int(np.max(np.diff(boundaries)))
-        return longest < self.rct_cutoff
+        n_blocks, block_bits = matrix.shape
+        if block_bits == 0:
+            return np.ones(n_blocks, dtype=bool)
+        ok = np.empty(n_blocks, dtype=bool)
+        positions = np.arange(block_bits, dtype=np.int32)
+        rows_per_chunk = max(1, self._RCT_CHUNK_ELEMENTS // block_bits)
+        for start in range(0, n_blocks, rows_per_chunk):
+            block = matrix[start:start + rows_per_chunk]
+            changed = np.zeros(block.shape, dtype=bool)
+            changed[:, 1:] = block[:, 1:] != block[:, :-1]
+            run_start = np.maximum.accumulate(
+                np.where(changed, positions, np.int32(0)), axis=1)
+            longest = (positions - run_start + 1).max(axis=1)
+            ok[start:start + rows_per_chunk] = longest < self.rct_cutoff
+        return ok
 
-    def _adaptive_proportion_ok(self, arr: np.ndarray) -> bool:
-        """Per-window dominant-value count must stay under the cutoff."""
-        usable = arr.size - arr.size % self.window
+    def _adaptive_proportion_ok_rows(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-window dominant-value counts per row, against the cutoff."""
+        n_blocks, block_bits = matrix.shape
+        usable = block_bits - block_bits % self.window
         if usable == 0:
-            return True
-        windows = arr[:usable].reshape(-1, self.window)
-        ones = windows.sum(axis=1)
+            return np.ones(n_blocks, dtype=bool)
+        windows = matrix[:, :usable].reshape(n_blocks, -1, self.window)
+        ones = windows.sum(axis=2)
         dominant = np.maximum(ones, self.window - ones)
-        return bool((dominant < self.apt_cutoff).all())
+        return (dominant < self.apt_cutoff).all(axis=1)
 
 
 class MonitoredTrng:
@@ -177,6 +261,12 @@ class MonitoredTrng:
                  monitor: HealthMonitor = None) -> None:
         self.trng = trng
         self.monitor = monitor or HealthMonitor()
+        self._pool = BitBuffer()
+
+    @property
+    def bits_per_iteration(self) -> int:
+        """Conditioned output bits of one (health-checked) iteration."""
+        return self.trng.bits_per_iteration
 
     def iteration(self) -> Tuple[np.ndarray, float]:
         """One health-checked iteration: (conditioned bits, latency)."""
@@ -193,12 +283,32 @@ class MonitoredTrng:
         return (np.concatenate(digests),
                 self.trng.iteration_latency_ns)
 
+    def batch_iterations(self, n: int) -> Tuple[np.ndarray, float]:
+        """``n`` health-checked iterations through the batched path.
+
+        Workers return each bank's *raw* read-out matrix alongside the
+        conditioned bits; the raw blocks are then monitored in the
+        per-iteration path's exact order (iteration-major, bank-minor)
+        through :meth:`HealthMonitor.check_many`, so failure counting
+        -- and any :class:`HealthTestFailure` alarm -- lands on exactly
+        the read-out it would have with one :meth:`iteration` at a
+        time.
+        """
+        results = self.trng.execute_batch(n, collect_raw=True)
+        self.monitor.check_bank_results(results, n)
+        return (self.trng.assemble_batch(results),
+                n * self.trng.iteration_latency_ns)
+
     def random_bits(self, n_bits: int) -> np.ndarray:
-        """Generate ``n_bits`` with every contributing read-out checked."""
-        parts = []
-        have = 0
-        while have < n_bits:
-            bits, _latency = self.iteration()
-            parts.append(bits)
-            have += bits.size
-        return np.concatenate(parts)[:n_bits]
+        """Generate ``n_bits`` with every contributing read-out checked.
+
+        Harvests through :meth:`batch_iterations` (the monitored
+        equivalent of :meth:`QuacTrng.random_bits`); surplus conditioned
+        bits are pooled and served first on the next call.  Batches are
+        additionally capped by raw volume
+        (:data:`MAX_MONITORED_RAW_BYTES`) since every iteration's raw
+        read-out travels with the batch.
+        """
+        harvest_into(self._pool, n_bits, lambda: self,
+                     max_iterations=monitored_batch_cap(self.trng))
+        return self._pool.take(n_bits)

@@ -9,16 +9,32 @@ harvesting, and aggregate accounting.
 Channels run *distinct modules* (real systems mix modules), so per-
 channel SIB counts differ and the round-robin order matters for fairness
 -- requests drain channels with data before forcing new iterations.
+
+Harvesting is *planned, then executed*: each refill round computes every
+scheduled channel's fair share of the deficit, plans all of their
+per-bank tasks serially (fixing the child-RNG keys), and fans the whole
+task list out on one execution backend -- so with a thread or process
+backend, all channels and all banks generate concurrently, exactly the
+parallelism the paper's hardware gets for free.  Optionally each
+channel's raw read-outs pass a per-channel
+:class:`~repro.core.health.HealthMonitor` before its bits are pooled; a
+channel that alarms never contaminates the pool, and bits harvested
+from healthy channels in the same round are pooled *before* the alarm
+propagates, so they are never lost.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.bitops import BitBuffer
-from repro.core.trng import MAX_BATCH_ITERATIONS, QuacTrng
+from repro.core.health import (HealthMonitor, HealthTestFailure,
+                               monitored_batch_cap)
+from repro.core.parallel import ExecutionBackend, resolve_backend, \
+    run_bank_task
+from repro.core.trng import QuacTrng, batch_count_for
 from repro.core.throughput import TrngConfiguration
 from repro.dram.device import BEST_DATA_PATTERN, DramModule
 from repro.errors import ConfigurationError, InsufficientEntropyError
@@ -33,24 +49,55 @@ class SystemTrng:
         One module per channel (the paper's system has four).
     configuration / data_pattern / entropy_per_block:
         Forwarded to every channel's generator.
+    backend:
+        Execution backend the system fans per-bank tasks out on (shared
+        with every channel's generator); an
+        :class:`~repro.core.parallel.ExecutionBackend`, a spec string,
+        or ``None`` for the ``REPRO_EXECUTION_BACKEND`` default.
+        Output is bit-identical across backends and worker counts.
+    monitors:
+        Optional per-channel health monitors (one entry per channel;
+        entries may be ``None`` to leave a channel unmonitored).  When a
+        monitor is present, the channel's raw read-outs are checked
+        through :meth:`HealthMonitor.check_many` before its conditioned
+        bits enter the pool.
     """
 
     def __init__(self, modules: Sequence[DramModule],
                  configuration: TrngConfiguration = TrngConfiguration.RC_BGP,
                  data_pattern: str = BEST_DATA_PATTERN,
-                 entropy_per_block: float = 256.0) -> None:
+                 entropy_per_block: float = 256.0,
+                 backend: Optional[ExecutionBackend] = None,
+                 monitors: Optional[Sequence[Optional[HealthMonitor]]]
+                 = None) -> None:
         if not modules:
             raise ConfigurationError("need at least one channel module")
+        self.backend = resolve_backend(backend)
         self.channels: List[QuacTrng] = [
-            QuacTrng(module, configuration, data_pattern, entropy_per_block)
+            QuacTrng(module, configuration, data_pattern, entropy_per_block,
+                     backend=self.backend)
             for module in modules
         ]
+        if monitors is None:
+            self.monitors: List[Optional[HealthMonitor]] = \
+                [None] * len(self.channels)
+        else:
+            if len(monitors) != len(self.channels):
+                raise ConfigurationError(
+                    f"got {len(monitors)} monitors for "
+                    f"{len(self.channels)} channels")
+            self.monitors = list(monitors)
         self._next_channel = 0
         self._pool = BitBuffer()
 
     @property
     def n_channels(self) -> int:
         return len(self.channels)
+
+    @property
+    def pooled_bits(self) -> int:
+        """Conditioned bits currently pooled and serveable at once."""
+        return len(self._pool)
 
     def system_throughput_gbps(self) -> float:
         """Aggregate sustained throughput (paper: ~13.76 Gb/s for 4)."""
@@ -67,12 +114,13 @@ class SystemTrng:
     def random_bits(self, n_bits: int) -> np.ndarray:
         """Harvest ``n_bits`` round-robin across the channels.
 
-        Channels are visited in rotation so sustained draws spread work
-        evenly; each visit contributes a *batch* of iterations sized to
-        the channel's fair share of the outstanding deficit, drawn
-        through :meth:`QuacTrng.batch_iterations`.  Surplus conditioned
-        bits are pooled and served first on the next call -- nothing is
-        regenerated or discarded.
+        Channels are scheduled in rotation so sustained draws spread
+        work evenly; each scheduled channel contributes a *batch* of
+        iterations sized to its fair share of the outstanding deficit,
+        and all scheduled channels' per-bank tasks execute together on
+        the system's backend.  Surplus conditioned bits are pooled and
+        served first on the next call -- nothing is regenerated or
+        discarded.
         """
         if n_bits < 0:
             raise InsufficientEntropyError("bit count must be non-negative")
@@ -86,17 +134,72 @@ class SystemTrng:
         self._refill(8 * n_bytes)
         return self._pool.take_bytes(n_bytes)
 
+    def _harvest_plan(self, deficit: int) -> List[Tuple[int, int]]:
+        """Schedule one refill round as ``(channel, batch size)`` pairs.
+
+        Walks the channels in round-robin order from the rotation
+        cursor, giving each its fair share of the deficit (capped by
+        :func:`~repro.core.trng.batch_count_for`, and additionally by
+        raw volume on monitored channels) until the round covers the
+        deficit; small draws therefore touch one channel, bulk draws
+        spread over all of them.  The cursor advances past the
+        scheduled channels so consecutive draws stay fair.
+        """
+        plan: List[Tuple[int, int]] = []
+        remaining = deficit
+        index = self._next_channel
+        share = -(-deficit // self.n_channels)
+        for _ in range(self.n_channels):
+            if remaining <= 0:
+                break
+            trng = self.channels[index]
+            count = batch_count_for(share, trng.bits_per_iteration)
+            if self.monitors[index] is not None:
+                count = max(1, min(count, monitored_batch_cap(trng)))
+            plan.append((index, count))
+            remaining -= count * trng.bits_per_iteration
+            index = (index + 1) % self.n_channels
+        self._next_channel = index
+        return plan
+
     def _refill(self, n_bits: int) -> None:
-        """Top the pool up to ``n_bits``, rotating batched channel draws."""
+        """Top the pool up to ``n_bits`` in planned parallel rounds.
+
+        Each round plans every scheduled channel's per-bank tasks
+        serially (fixing the draw order and child-RNG keys), executes
+        the combined task list on the backend, monitors each channel's
+        raw read-outs (when a monitor is configured), and pools the
+        conditioned bits in schedule order.  A channel whose monitor
+        alarms contributes nothing, but every healthy channel's bits
+        are pooled *before* the first alarm re-raises -- pooled bits
+        survive the failure and serve later draws.
+        """
         while len(self._pool) < n_bits:
-            deficit = n_bits - len(self._pool)
-            trng = self.channels[self._next_channel]
-            self._next_channel = (self._next_channel + 1) % self.n_channels
-            share = -(-deficit // self.n_channels)
-            count = max(1, min(MAX_BATCH_ITERATIONS,
-                               -(-share // trng.bits_per_iteration)))
-            bits, _latency = trng.batch_iterations(count)
-            self._pool.append(bits)
+            plan = self._harvest_plan(n_bits - len(self._pool))
+            tasks, spans = [], []
+            for channel, count in plan:
+                monitored = self.monitors[channel] is not None
+                bank_tasks = self.channels[channel].plan_batch(
+                    count, collect_raw=monitored)
+                spans.append((channel, count, len(tasks),
+                              len(tasks) + len(bank_tasks)))
+                tasks.extend(bank_tasks)
+            results = self.backend.map(run_bank_task, tasks)
+            failure: Optional[HealthTestFailure] = None
+            for channel, count, start, stop in spans:
+                chunk = results[start:stop]
+                monitor = self.monitors[channel]
+                if monitor is not None:
+                    try:
+                        monitor.check_bank_results(chunk, count)
+                    except HealthTestFailure as exc:
+                        if failure is None:
+                            failure = exc
+                        continue
+                self._pool.append(
+                    self.channels[channel].assemble_batch(chunk))
+            if failure is not None:
+                raise failure
 
     def iter_bytes(self, chunk_size: int) -> Iterator[bytes]:
         """Stream conditioned output as ``chunk_size``-byte chunks.
@@ -112,12 +215,15 @@ class SystemTrng:
 
 
 def reference_system(modules: Optional[Sequence[DramModule]] = None,
-                     entropy_per_block: float = 256.0) -> SystemTrng:
+                     entropy_per_block: float = 256.0,
+                     backend: Optional[ExecutionBackend] = None
+                     ) -> SystemTrng:
     """The paper's 4-channel reference system.
 
     Defaults to four distinct Table 3 modules at full scale; pass
     reduced-geometry modules (and a scaled ``entropy_per_block``) for
-    fast experimentation.
+    fast experimentation, and a ``backend`` to harvest the four
+    channels concurrently.
     """
     if modules is None:
         from repro.dram.module_factory import build_table3_population
@@ -125,4 +231,5 @@ def reference_system(modules: Optional[Sequence[DramModule]] = None,
     if len(modules) != 4:
         raise ConfigurationError(
             f"the reference system has 4 channels, got {len(modules)}")
-    return SystemTrng(modules, entropy_per_block=entropy_per_block)
+    return SystemTrng(modules, entropy_per_block=entropy_per_block,
+                      backend=backend)

@@ -1,0 +1,300 @@
+"""Pluggable parallel execution backends for the generation engine.
+
+QUAC-TRNG's headline throughput comes from *concurrency*: the paper
+drives four banks per channel and four channels per system, and every
+bank's iteration is independent of every other's.  The simulator's
+batched fast path (:meth:`repro.core.trng.QuacTrng.batch_iterations`)
+mirrors that structure -- one vectorized draw per bank -- which makes
+the per-bank work an embarrassingly parallel unit.  This module turns
+that unit into a first-class, *picklable* task and provides three
+interchangeable executors for it:
+
+* :class:`SerialBackend` -- in-process loop (the default; zero overhead,
+  bit-identical reference);
+* :class:`ThreadPoolBackend` -- a shared ``ThreadPoolExecutor``; numpy
+  releases the GIL inside the heavy kernels (``random``, ``packbits``)
+  and ``hashlib`` releases it for large buffers, so threads already
+  overlap most of the hot path;
+* :class:`ProcessPoolBackend` -- a shared ``ProcessPoolExecutor`` for
+  full CPU scaling across cores.
+
+**Determinism contract.**  Every task carries its own child-RNG key,
+derived *serially* in the parent through the hierarchical
+:func:`repro.rng.derive_key` scheme and expanded in the worker via
+``numpy.random.SeedSequence`` (the same child-spawning machinery as
+``SeedSequence.spawn``, keyed by draw-site coordinates instead of spawn
+order so results cannot depend on which worker runs first).  A task's
+output is a pure function of the task itself, and results are returned
+in submission order -- so all three backends, at any worker count,
+produce **bit-identical** streams (``tests/core/test_parallel.py``
+enforces this).
+
+Backends are selected per generator (``QuacTrng(..., backend=...)``),
+by spec string (``"process:4"``), or globally through the
+``REPRO_EXECUTION_BACKEND`` environment variable -- the latter is how
+CI runs the whole tier-1 suite under a process pool.
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.crypto.conditioner import Sha256Conditioner
+from repro.crypto.sha256 import Sha256
+from repro.dram.sense_amplifier import sample_settles
+from repro.errors import ConfigurationError
+from repro.rng import generator_from_key
+
+#: Environment variable naming the default backend spec.
+BACKEND_ENV_VAR = "REPRO_EXECUTION_BACKEND"
+
+
+# ----------------------------------------------------------------------
+# The unit of parallel work
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True, eq=False)
+class BankTask:
+    """One bank's share of a batch: sample ``iterations`` read-outs and
+    condition them.
+
+    Everything a worker needs travels with the task (settling
+    probabilities, the draw site's child-RNG key, the SIB slices and
+    conditioning parameters), so the task pickles cheaply and never
+    drags a :class:`~repro.dram.device.DramModule` across a process
+    boundary.
+    """
+
+    #: Child-RNG key (``repro.rng.derive_key`` words); the worker seeds
+    #: a ``SeedSequence`` from it, so the stream is a function of the
+    #: draw site, not of scheduling order.
+    key: Tuple[int, ...]
+    #: Per-bitline settling probabilities of the bank's TRNG segment.
+    probabilities: np.ndarray
+    #: Iterations to sample (rows of the read-out matrix).
+    iterations: int
+    #: ``(start, stop)`` bit ranges of the bank's SHA input blocks.
+    block_slices: Tuple[Tuple[int, int], ...]
+    #: Shannon entropy credited to each block (conditioner parameter).
+    entropy_per_block: float
+    #: Condition with the from-scratch SHA-256 instead of hashlib.
+    use_builtin_sha: bool = False
+    #: Also return the raw read-out matrix (for health monitoring).
+    collect_raw: bool = False
+
+
+@dataclass(frozen=True, eq=False)
+class BankResult:
+    """A worker's answer to one :class:`BankTask`."""
+
+    #: ``(iterations, DIGEST_BITS * n_blocks)`` conditioned bits.
+    digests: np.ndarray
+    #: ``(iterations, segment_bits)`` raw read-outs, or ``None`` unless
+    #: the task asked for them.
+    raw: Optional[np.ndarray] = None
+
+
+def run_bank_task(task: BankTask) -> BankResult:
+    """Execute one bank task (module-level, so process pools can pickle
+    it).
+
+    Reproduces exactly what the serial fast path does for one bank:
+    sample the settling distribution with the task's child generator,
+    slice the SHA input blocks, and condition each block matrix in
+    bulk.
+    """
+    rng = generator_from_key(task.key)
+    raw = np.atleast_2d(
+        sample_settles(task.probabilities, rng, task.iterations))
+    conditioner = Sha256Conditioner(task.entropy_per_block,
+                                    use_builtin=task.use_builtin_sha)
+    columns = [
+        conditioner.condition_many(raw[:, start:stop])
+                   .reshape(task.iterations, Sha256.DIGEST_BITS)
+        for start, stop in task.block_slices
+    ]
+    digests = np.concatenate(columns, axis=1)
+    return BankResult(digests, raw if task.collect_raw else None)
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+
+class ExecutionBackend(abc.ABC):
+    """Maps a task function over a task list, preserving order.
+
+    Implementations must be *transparent*: ``backend.map(fn, tasks)``
+    returns ``[fn(t) for t in tasks]`` in order, for any scheduling
+    underneath.  The equivalence suite holds every backend to that.
+    """
+
+    #: Short name used in spec strings and reports.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        """Apply ``fn`` to every task; results in submission order."""
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for poolless backends)."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process execution; the reference the pools must match."""
+
+    name = "serial"
+
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        return [fn(task) for task in tasks]
+
+
+class _PooledBackend(ExecutionBackend):
+    """Shared lazy pool; single-task maps stay in-process."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"worker count must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool = None
+        # Backends are shared across generators (and possibly user
+        # threads); the lock keeps the lazy init from racing and
+        # leaking a second, never-shut-down pool.
+        self._pool_lock = threading.Lock()
+
+    @abc.abstractmethod
+    def _make_pool(self):
+        """Construct the underlying ``concurrent.futures`` executor."""
+
+    def map(self, fn: Callable, tasks: Sequence) -> List:
+        tasks = list(tasks)
+        # One task gains nothing from dispatch; run it inline.  The
+        # result is identical either way (pure function of the task).
+        if len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = self._make_pool()
+            pool = self._pool
+        return list(pool.map(fn, tasks))
+
+    def close(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def __repr__(self) -> str:
+        workers = self.max_workers if self.max_workers else "auto"
+        return f"{type(self).__name__}(max_workers={workers})"
+
+
+class ThreadPoolBackend(_PooledBackend):
+    """Thread-pool execution (GIL-released numpy/hashlib kernels)."""
+
+    name = "thread"
+
+    def _make_pool(self):
+        from concurrent.futures import ThreadPoolExecutor
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+class ProcessPoolBackend(_PooledBackend):
+    """Process-pool execution for full multi-core scaling."""
+
+    name = "process"
+
+    def _make_pool(self):
+        from concurrent.futures import ProcessPoolExecutor
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+# ----------------------------------------------------------------------
+# Backend resolution
+# ----------------------------------------------------------------------
+
+_BACKENDS = {
+    SerialBackend.name: SerialBackend,
+    ThreadPoolBackend.name: ThreadPoolBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+}
+
+#: Backends resolved from spec strings are shared process-wide, so a
+#: suite running under ``REPRO_EXECUTION_BACKEND=process`` spins up one
+#: pool, not one per generator.  They are shut down at interpreter exit
+#: (a dangling process pool otherwise races module teardown).
+_shared_backends: Dict[str, ExecutionBackend] = {}
+
+
+def _close_shared_backends() -> None:
+    for backend in _shared_backends.values():
+        backend.close()
+
+
+atexit.register(_close_shared_backends)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """The recognised backend spec names."""
+    return tuple(_BACKENDS)
+
+
+def resolve_backend(spec=None) -> ExecutionBackend:
+    """Turn a backend selection into an :class:`ExecutionBackend`.
+
+    Accepts an existing backend (returned as-is), a spec string
+    (``"serial"``, ``"thread"``, ``"process"``, optionally with a
+    worker count as ``"process:4"``), or ``None`` -- which reads the
+    ``REPRO_EXECUTION_BACKEND`` environment variable and falls back to
+    serial.  String-resolved backends are shared per spec so pooled
+    workers are reused across generators.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV_VAR, SerialBackend.name)
+    if not isinstance(spec, str):
+        raise ConfigurationError(
+            f"backend spec must be a string or ExecutionBackend, "
+            f"got {type(spec).__name__}")
+    normalized = spec.strip().lower()
+    if normalized in _shared_backends:
+        return _shared_backends[normalized]
+    name, _, count = normalized.partition(":")
+    if name not in _BACKENDS:
+        raise ConfigurationError(
+            f"unknown execution backend {spec!r}; "
+            f"choose from {', '.join(available_backends())}")
+    workers: Optional[int] = None
+    if count:
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad worker count in backend spec {spec!r}")
+    if name == SerialBackend.name:
+        if count:
+            raise ConfigurationError(
+                "the serial backend takes no worker count")
+        backend = SerialBackend()
+    else:
+        backend = _BACKENDS[name](max_workers=workers)
+    _shared_backends[normalized] = backend
+    return backend

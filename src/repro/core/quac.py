@@ -15,14 +15,14 @@ Two execution paths, trading fidelity for speed:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.dram.device import DramModule, cells_for_pattern
 from repro.dram.geometry import SegmentAddress
 from repro.dram.sense_amplifier import sample_settles
-from repro.rng import generator_for
+from repro.rng import derive_key, generator_from_key
 from repro.softmc.host import SoftMcHost
 from repro.softmc.program import quac_randomness_program
 
@@ -44,6 +44,27 @@ class QuacExecutor:
             variant=variant)
         return self.host.execute(program).read_data
 
+    def plan_direct(self, segment: SegmentAddress, pattern: str,
+                    first_position: int = 0
+                    ) -> Tuple[Tuple[int, ...], np.ndarray]:
+        """Plan one direct draw: ``(child RNG key, probabilities)``.
+
+        Advances the executor's draw counter exactly as
+        :meth:`run_direct` would, but *performs no sampling*: the
+        returned key and probability vector are everything a worker
+        (possibly in another process) needs to produce the draw
+        bit-identically via :func:`repro.rng.generator_from_key`.
+        Planning is serial, so the call-sequence reproducibility
+        contract is untouched no matter where the sampling runs.
+        """
+        p = self.module.segment_probabilities(segment, pattern,
+                                              first_position)
+        self._direct_counter += 1
+        key = derive_key(self.module.seed, "quac-direct",
+                         segment.bank_group, segment.bank,
+                         segment.segment, self._direct_counter)
+        return key, p
+
     def run_direct(self, segment: SegmentAddress, pattern: str,
                    first_position: int = 0,
                    iterations: int = 1) -> np.ndarray:
@@ -54,13 +75,8 @@ class QuacExecutor:
         outcomes differ across calls but remain reproducible for a fixed
         module seed and call sequence.
         """
-        p = self.module.segment_probabilities(segment, pattern,
-                                              first_position)
-        self._direct_counter += 1
-        rng = generator_for(self.module.seed, "quac-direct",
-                            segment.bank_group, segment.bank,
-                            segment.segment, self._direct_counter)
-        return sample_settles(p, rng, iterations)
+        key, p = self.plan_direct(segment, pattern, first_position)
+        return sample_settles(p, generator_from_key(key), iterations)
 
     def probabilities(self, segment: SegmentAddress, pattern: str,
                       first_position: int = 0) -> np.ndarray:

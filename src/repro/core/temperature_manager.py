@@ -24,7 +24,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.trng import QuacTrng
+from repro.bitops import BitBuffer
+from repro.core.parallel import ExecutionBackend, resolve_backend
+from repro.core.trng import QuacTrng, harvest_into
 from repro.core.throughput import TrngConfiguration
 from repro.dram.device import BEST_DATA_PATTERN, DramModule
 from repro.errors import CharacterizationError, ConfigurationError
@@ -60,6 +62,12 @@ class TemperatureManagedTrng:
         Non-overlapping (low, high) Celsius ranges to characterize.
     configuration / data_pattern / entropy_per_block:
         Forwarded to each range's generator.
+    backend:
+        Execution backend forwarded to every range's generator (an
+        :class:`~repro.core.parallel.ExecutionBackend`, spec string, or
+        ``None`` for the ``REPRO_EXECUTION_BACKEND`` default), so a
+        shared pool drives the batched harvest whichever range is
+        active.
     """
 
     def __init__(self, module: DramModule,
@@ -67,11 +75,13 @@ class TemperatureManagedTrng:
                  configuration: TrngConfiguration =
                  TrngConfiguration.RC_BGP,
                  data_pattern: str = BEST_DATA_PATTERN,
-                 entropy_per_block: float = 256.0) -> None:
+                 entropy_per_block: float = 256.0,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.module = module
         self.configuration = configuration
         self.data_pattern = data_pattern
         self.entropy_per_block = entropy_per_block
+        self.backend = resolve_backend(backend)
         self._validate_ranges(ranges)
         #: Count of offline characterization passes (the paper's cost
         #: model assumes this stays at 1 unless conditions leave the
@@ -79,6 +89,9 @@ class TemperatureManagedTrng:
         self.characterization_passes = 0
         self._entries: List[RangeEntry] = []
         self._characterize_ranges(ranges)
+        self._pool = BitBuffer()
+        #: Range entry whose plans filled the current pool surplus.
+        self._pool_entry: Optional[RangeEntry] = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -106,7 +119,8 @@ class TemperatureManagedTrng:
             for low, high in sorted(ranges):
                 self.module.temperature_c = 0.5 * (low + high)
                 trng = QuacTrng(self.module, self.configuration,
-                                self.data_pattern, self.entropy_per_block)
+                                self.data_pattern, self.entropy_per_block,
+                                backend=self.backend)
                 self._entries.append(RangeEntry(low, high, trng))
         finally:
             self.module.temperature_c = original
@@ -157,15 +171,42 @@ class TemperatureManagedTrng:
         """One iteration using the active range's plans."""
         return self.active_entry().trng.iteration()
 
+    def batch_iterations(self, n: int) -> Tuple[np.ndarray, float]:
+        """``n`` batched iterations using the active range's plans.
+
+        The range is selected once per batch; the batch itself runs on
+        the active generator's execution backend.
+        """
+        return self.active_entry().trng.batch_iterations(n)
+
+    def _pooled_source(self) -> QuacTrng:
+        """The active range's generator, invalidating a stale pool.
+
+        Surplus bits were conditioned under the range that harvested
+        them; when the sensor has moved to a different range the pool
+        is discarded rather than served -- the stored-table contract is
+        that output always comes from plans covering the current
+        temperature.
+        """
+        entry = self.active_entry()
+        if entry is not self._pool_entry:
+            self._pool.clear()
+            self._pool_entry = entry
+        return entry.trng
+
     def random_bits(self, n_bits: int) -> np.ndarray:
-        """Generate bits, re-selecting the range as temperature moves."""
-        parts = []
-        have = 0
-        while have < n_bits:
-            bits, _latency = self.iteration()
-            parts.append(bits)
-            have += bits.size
-        return np.concatenate(parts)[:n_bits]
+        """Generate bits, re-selecting the range as temperature moves.
+
+        Harvests through the batched engine: the sensor is re-read
+        before every batch (a temperature excursion mid-draw switches
+        plan tables at batch granularity), each batch is sized to the
+        remaining deficit, and surplus conditioned bits are pooled and
+        served first on the next call -- unless the temperature has
+        left the range that generated them, which flushes the pool.
+        """
+        self._pooled_source()   # flush a stale pool before serving it
+        harvest_into(self._pool, n_bits, self._pooled_source)
+        return self._pool.take(n_bits)
 
     def sib_per_bank(self) -> List[int]:
         """The active range's SHA-input-block counts."""

@@ -35,11 +35,12 @@ from repro.bitops import BitBuffer
 from repro.controller.rowclone import (reserved_rows_for,
                                        rowclone_segment_init_program,
                                        check_rowclone_pattern)
+from repro.core.parallel import (BankResult, BankTask, ExecutionBackend,
+                                 resolve_backend, run_bank_task)
 from repro.core.quac import QuacExecutor
 from repro.core.throughput import (IterationBreakdown, QuacThroughputModel,
                                    TrngConfiguration)
 from repro.crypto.conditioner import Sha256Conditioner
-from repro.crypto.sha256 import Sha256
 from repro.dram.device import BEST_DATA_PATTERN, DramModule
 from repro.dram.geometry import SegmentAddress
 from repro.entropy.blocks import (EntropyBlockPlan, plan_entropy_blocks,
@@ -54,6 +55,44 @@ from repro.softmc.program import row_initialization_program
 #: amortizing per-batch costs (segment probabilities, RNG construction)
 #: over a thousand iterations.
 MAX_BATCH_ITERATIONS = 1024
+
+
+def batch_count_for(deficit_bits: int, bits_per_iteration: int) -> int:
+    """Iterations needed to cover a bit deficit, capped at the batch cap.
+
+    The one batch-sizing rule every pooled harvest path shares
+    (:meth:`QuacTrng.random_bits`, the monitored and
+    temperature-managed wrappers, and the system scheduler) -- change
+    it here and they all follow.
+    """
+    return min(MAX_BATCH_ITERATIONS,
+               -(-deficit_bits // bits_per_iteration))
+
+
+def harvest_into(pool: BitBuffer, n_bits: int, next_source,
+                 max_iterations: Optional[int] = None) -> None:
+    """Top ``pool`` up to ``n_bits`` of batched conditioned output.
+
+    The pooled-harvest loop shared by :class:`QuacTrng` and the
+    monitored / temperature-managed wrappers: ``next_source()`` is
+    re-consulted before every batch (so a wrapper can re-select its
+    active generator mid-draw) and must return an object exposing
+    ``bits_per_iteration`` and ``batch_iterations(n)``.
+    ``max_iterations`` tightens the per-batch cap below
+    :data:`MAX_BATCH_ITERATIONS` for sources with per-iteration
+    overheads beyond the conditioned bits (e.g. monitored harvests
+    hauling raw read-out matrices).
+    """
+    if n_bits < 0:
+        raise InsufficientEntropyError("bit count must be non-negative")
+    while len(pool) < n_bits:
+        source = next_source()
+        count = batch_count_for(n_bits - len(pool),
+                                source.bits_per_iteration)
+        if max_iterations is not None:
+            count = max(1, min(count, max_iterations))
+        bits, _latency = source.batch_iterations(count)
+        pool.append(bits)
 
 
 class QuacTrng:
@@ -75,13 +114,21 @@ class QuacTrng:
         When True, conditioning uses this library's from-scratch SHA-256;
         the default uses :mod:`hashlib` for bulk speed (bit-identical --
         the test suite proves it -- just faster).
+    backend:
+        Execution backend for the batched path's per-bank fan-out: an
+        :class:`~repro.core.parallel.ExecutionBackend`, a spec string
+        (``"serial"``, ``"thread"``, ``"process:4"``), or ``None`` to
+        follow the ``REPRO_EXECUTION_BACKEND`` environment variable
+        (default serial).  Output is bit-identical across backends and
+        worker counts.
     """
 
     def __init__(self, module: DramModule,
                  configuration: TrngConfiguration = TrngConfiguration.RC_BGP,
                  data_pattern: str = BEST_DATA_PATTERN,
                  entropy_per_block: float = 256.0,
-                 use_builtin_sha: bool = False) -> None:
+                 use_builtin_sha: bool = False,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         if configuration.uses_rowclone:
             check_rowclone_pattern(data_pattern)
         self.module = module
@@ -91,6 +138,7 @@ class QuacTrng:
         self.use_builtin_sha = use_builtin_sha
         self.conditioner = Sha256Conditioner(entropy_per_block,
                                              use_builtin=use_builtin_sha)
+        self.backend = resolve_backend(backend)
         self.executor = QuacExecutor(module)
         self._banks = [(group, 0) for group in range(configuration.n_banks)]
         self._characterize()
@@ -198,10 +246,13 @@ class QuacTrng:
     def batch_iterations(self, n: int) -> Tuple[np.ndarray, float]:
         """``n`` back-to-back iterations through the vectorized fast path.
 
-        One :meth:`~repro.core.quac.QuacExecutor.run_direct` call per
-        bank samples all ``n`` read-outs at once; each entropy-block
-        plan then slices its SHA input blocks as an ``(n, block_bits)``
-        matrix and conditions them in bulk.
+        The batch is planned as one independent task per driven bank
+        (:meth:`plan_batch`) and fanned out on the configured execution
+        backend; each worker samples its bank's ``n`` read-outs in one
+        vectorized draw, slices the SHA input blocks as
+        ``(n, block_bits)`` matrices and conditions them in bulk.
+        Because every task carries its own serially-derived child-RNG
+        key, the result is bit-identical whichever backend executes it.
 
         Returns
         -------
@@ -214,20 +265,61 @@ class QuacTrng:
         proves it); larger batches consume the thermal-noise streams in
         a different order and agree statistically.
         """
+        results = self.execute_batch(n)
+        return self.assemble_batch(results), n * self._breakdown.total_ns
+
+    def execute_batch(self, n: int,
+                      collect_raw: bool = False) -> List[BankResult]:
+        """Plan ``n`` iterations and run the tasks on the backend.
+
+        The shared plan/map step behind :meth:`batch_iterations` and
+        the monitored harvest (which needs the per-bank
+        :class:`~repro.core.parallel.BankResult`\\ s, raw read-outs
+        included, before assembly).
+        """
+        return self.backend.map(run_bank_task,
+                                self.plan_batch(n, collect_raw))
+
+    def plan_batch(self, n: int,
+                   collect_raw: bool = False) -> List[BankTask]:
+        """Plan ``n`` iterations as one picklable task per driven bank.
+
+        Planning runs serially in the caller (each bank's child-RNG key
+        advances the executor's draw counter in bank order, exactly as
+        the sequential path does), so executing the returned tasks on
+        *any* backend, in *any* order, with *any* worker count yields
+        bit-identical results.  ``collect_raw`` asks workers to also
+        return the raw read-out matrices, for health monitoring.
+        """
         if n <= 0:
             raise ConfigurationError(
                 f"batch size must be positive, got {n}")
-        columns: List[np.ndarray] = []
+        tasks: List[BankTask] = []
         for key in self._banks:
             segment = self._segments[key]
-            readout = np.atleast_2d(self.executor.run_direct(
-                segment, self.data_pattern, iterations=n))
-            for plan in self._plans[key]:
-                digests = self.conditioner.condition_many(
-                    readout[:, plan.bit_slice])
-                columns.append(digests.reshape(n, Sha256.DIGEST_BITS))
-        bits = np.concatenate(columns, axis=1)
-        return bits, n * self._breakdown.total_ns
+            rng_key, p = self.executor.plan_direct(segment,
+                                                   self.data_pattern)
+            slices = tuple((plan.bit_slice.start, plan.bit_slice.stop)
+                           for plan in self._plans[key])
+            # Conditioning parameters come from the live conditioner
+            # (not the ctor arguments) so post-construction swaps are
+            # honored by both the batched and per-iteration paths.
+            tasks.append(BankTask(
+                key=rng_key, probabilities=p, iterations=n,
+                block_slices=slices,
+                entropy_per_block=self.conditioner.entropy_per_block,
+                use_builtin_sha=self.conditioner.use_builtin,
+                collect_raw=collect_raw))
+        return tasks
+
+    def assemble_batch(self, results: List[BankResult]) -> np.ndarray:
+        """Concatenate per-bank results into the iteration-major matrix.
+
+        Row ``i`` of the result is iteration ``i``'s conditioned output
+        in the same bank/block order as :meth:`iteration`.
+        """
+        return np.concatenate([result.digests for result in results],
+                              axis=1)
 
     def random_bits(self, n_bits: int, faithful: bool = False) -> np.ndarray:
         """Generate exactly ``n_bits`` conditioned random bits.
@@ -254,14 +346,11 @@ class QuacTrng:
 
     def _refill(self, n_bits: int, faithful: bool) -> None:
         """Top the pool up to ``n_bits`` through the batched fast path."""
+        if not faithful:
+            harvest_into(self._pool, n_bits, lambda: self)
+            return
         while len(self._pool) < n_bits:
-            if faithful:
-                bits, _latency = self.iteration(faithful=True)
-            else:
-                deficit = n_bits - len(self._pool)
-                count = min(MAX_BATCH_ITERATIONS,
-                            -(-deficit // self.bits_per_iteration))
-                bits, _latency = self.batch_iterations(count)
+            bits, _latency = self.iteration(faithful=True)
             self._pool.append(bits)
 
     def iter_bytes(self, chunk_size: int) -> Iterator[bytes]:

@@ -70,16 +70,23 @@ def vnc_stream(trng: QuacTrng, n_bits: int, seed: int = 7) -> np.ndarray:
 
 
 def run(scale=ExperimentScale.SMALL, module_name: str = "M13",
-        sequence_bits: int = None, n_sequences: int = None
-        ) -> ExperimentResult:
-    """Regenerate Table 1 (and the Section 7.1 pass rate)."""
+        sequence_bits: int = None, n_sequences: int = None,
+        backend=None) -> ExperimentResult:
+    """Regenerate Table 1 (and the Section 7.1 pass rate).
+
+    ``backend`` selects the execution backend for the bulk SHA-256
+    harvest (an :class:`~repro.core.parallel.ExecutionBackend` or spec
+    string; default: the ``REPRO_EXECUTION_BACKEND`` environment
+    variable).  The harvested stream is bit-identical regardless.
+    """
     scale = coerce_scale(scale)
     sequence_bits = sequence_bits or _SEQUENCE_BITS[scale.value]
     n_sequences = n_sequences or _N_SEQUENCES[scale.value]
 
     module = scale.build_population([module_name])[0]
     trng = QuacTrng(module, TrngConfiguration.RC_BGP, BEST_DATA_PATTERN,
-                    entropy_per_block=scale.entropy_per_block())
+                    entropy_per_block=scale.entropy_per_block(),
+                    backend=backend)
 
     total_bits = sequence_bits * n_sequences
     sha_stream = trng.random_bits(total_bits)   # one bulk batched draw

@@ -48,6 +48,21 @@ def derive_key(root_seed: int, domain: str, *coords: int) -> Tuple[int, ...]:
     )
 
 
+def generator_from_key(key: Tuple[int, ...]) -> np.random.Generator:
+    """Build the Generator for an already-derived draw-site key.
+
+    This is the second half of :func:`generator_for`, split out so a
+    draw site can be *planned* in one place (the key derived serially,
+    preserving call-order semantics) and *executed* in another -- e.g.
+    a worker process of :mod:`repro.core.parallel`, which receives the
+    key inside a picklable task.  ``SeedSequence`` expansion of the key
+    happens identically wherever the generator is built, so parent and
+    worker draws are bit-identical.
+    """
+    seq = np.random.SeedSequence(tuple(int(word) for word in key))
+    return np.random.Generator(np.random.Philox(seq))
+
+
 def generator_for(root_seed: int, domain: str, *coords: int) -> np.random.Generator:
     """Return a fresh, deterministic Generator for the given draw site.
 
@@ -62,8 +77,7 @@ def generator_for(root_seed: int, domain: str, *coords: int) -> np.random.Genera
     coords:
         Integer coordinates of the draw site (module id, segment id, ...).
     """
-    seq = np.random.SeedSequence(derive_key(root_seed, domain, *coords))
-    return np.random.Generator(np.random.Philox(seq))
+    return generator_from_key(derive_key(root_seed, domain, *coords))
 
 
 def split_seed(root_seed: int, domain: str, count: int) -> list:

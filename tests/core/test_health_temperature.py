@@ -9,7 +9,15 @@ from repro.core.health import (HealthMonitor, HealthTestFailure,
 from repro.core.temperature_manager import (DEFAULT_RANGES,
                                             TemperatureManagedTrng)
 from repro.core.trng import QuacTrng
-from repro.errors import ConfigurationError
+from repro.errors import BitstreamError, ConfigurationError
+
+
+def _loop_check(monitor: HealthMonitor, matrix: np.ndarray):
+    """Reference semantics: one :meth:`check` call per row."""
+    verdicts = []
+    for row in matrix:
+        verdicts.append(monitor.check(row))
+    return np.asarray(verdicts, dtype=bool)
 
 
 class TestCutoffs:
@@ -97,6 +105,172 @@ class TestMonitoredTrng:
             monitored.random_bits(50000)
 
 
+class TestCheckMany:
+    """The vectorized batch path must be the looped path, faster."""
+
+    WIDTH = 2048
+
+    def _monitor(self, alarm=10):
+        return HealthMonitor(claimed_min_entropy=0.9,
+                             consecutive_failures_to_alarm=alarm)
+
+    def _crafted_matrix(self):
+        """Rows with hand-known verdicts: pass, RCT-fail, pass, APT-fail."""
+        rng = np.random.default_rng(91)
+        healthy = rng.integers(0, 2, self.WIDTH).astype(np.uint8)
+        stuck = np.ones(self.WIDTH, dtype=np.uint8)
+        alternating = np.tile([0, 1], self.WIDTH // 2).astype(np.uint8)
+        biased = np.tile([1, 1, 1, 1, 1, 1, 1, 0],
+                         self.WIDTH // 8).astype(np.uint8)
+        return (np.stack([healthy, stuck, alternating, biased]),
+                [True, False, True, False])
+
+    def test_agrees_with_looped_check(self):
+        matrix, expected = self._crafted_matrix()
+        batched, looped = self._monitor(), self._monitor()
+        verdicts = batched.check_many(matrix)
+        np.testing.assert_array_equal(verdicts, expected)
+        np.testing.assert_array_equal(_loop_check(looped, matrix),
+                                      expected)
+        for stat in ("samples_checked", "rct_failures", "apt_failures",
+                     "_consecutive"):
+            assert getattr(batched, stat) == getattr(looped, stat), stat
+
+    def test_biased_row_fails_apt_not_rct(self):
+        matrix, _ = self._crafted_matrix()
+        monitor = self._monitor()
+        # Precondition for the crafted row: dominant count 448/512 is
+        # beyond the cutoff, while its longest run (7) is far below
+        # the RCT cutoff (24 at H=0.9).
+        assert 448 >= monitor.apt_cutoff
+        assert 7 < monitor.rct_cutoff
+        monitor.check_many(matrix[3:4])
+        assert monitor.apt_failures == 1
+        assert monitor.rct_failures == 0
+
+    def test_rct_boundary_is_exact(self):
+        monitor = self._monitor()
+        cutoff = monitor.rct_cutoff
+        assert cutoff == 24   # 1 + ceil(20 / 0.9)
+
+        def with_run(length):
+            row = np.tile([0, 1], self.WIDTH // 2).astype(np.uint8)
+            row[100] = 0
+            row[101:101 + length] = 1
+            row[101 + length] = 0
+            return row
+
+        matrix = np.stack([with_run(cutoff - 1), with_run(cutoff)])
+        verdicts = monitor.check_many(matrix)
+        np.testing.assert_array_equal(verdicts, [True, False])
+        assert monitor.rct_failures == 1
+
+    def test_alarm_at_same_row_as_looped_path(self):
+        healthy = np.random.default_rng(92).integers(
+            0, 2, self.WIDTH).astype(np.uint8)
+        stuck = np.ones(self.WIDTH, dtype=np.uint8)
+        matrix = np.stack([healthy, stuck, stuck, stuck])
+        batched, looped = self._monitor(alarm=2), self._monitor(alarm=2)
+        with pytest.raises(HealthTestFailure):
+            batched.check_many(matrix)
+        with pytest.raises(HealthTestFailure):
+            _loop_check(looped, matrix)
+        # Both alarmed on row 2; row 3 stayed unreached and uncounted.
+        for monitor in (batched, looped):
+            assert monitor.samples_checked == 3 * self.WIDTH
+            assert monitor.rct_failures == 2
+            assert monitor._consecutive == 2
+        assert batched.apt_failures == looped.apt_failures
+
+    def test_rct_chunking_does_not_change_verdicts(self):
+        # The RCT bounds its temporaries by processing row chunks;
+        # force a tiny chunk so one call spans many chunks and compare
+        # against a monitor that sees every row in one chunk.
+        matrix, expected = self._crafted_matrix()
+        chunked = self._monitor()
+        chunked._RCT_CHUNK_ELEMENTS = self.WIDTH   # one row per chunk
+        whole = self._monitor()
+        np.testing.assert_array_equal(chunked.check_many(matrix),
+                                      expected)
+        np.testing.assert_array_equal(whole.check_many(matrix), expected)
+        assert chunked.rct_failures == whole.rct_failures
+
+    def test_single_row_check_unchanged(self):
+        row = np.ones(self.WIDTH, dtype=np.uint8)
+        monitor = self._monitor()
+        assert monitor.check(row) is False
+        assert monitor.samples_checked == self.WIDTH
+        assert monitor.rct_failures == 1
+
+    def test_one_dimensional_input_is_one_row(self):
+        monitor = self._monitor()
+        verdicts = monitor.check_many(np.zeros(self.WIDTH, dtype=np.uint8))
+        assert verdicts.shape == (1,)
+
+    def test_bad_inputs_rejected(self):
+        monitor = self._monitor()
+        with pytest.raises(BitstreamError):
+            monitor.check_many(np.zeros((2, 2, 2), dtype=np.uint8))
+        with pytest.raises(BitstreamError):
+            monitor.check_many(np.full((1, 8), 2, dtype=np.uint8))
+
+
+class TestMonitoredTrngBatched:
+    """The batched harvest is the per-iteration harvest, reordered not
+    re-judged."""
+
+    def _pair(self, module, entropy_scale, **monitor_kwargs):
+        kwargs = dict(claimed_min_entropy=0.01)
+        kwargs.update(monitor_kwargs)
+        trng = QuacTrng(module, entropy_per_block=256.0 * entropy_scale)
+        return MonitoredTrng(trng, HealthMonitor(**kwargs))
+
+    def test_batch_one_matches_iteration(self, module_m13, entropy_scale):
+        sequential = self._pair(module_m13, entropy_scale)
+        batched = self._pair(module_m13, entropy_scale)
+        for _ in range(3):
+            want, _ = sequential.iteration()
+            got, _ = batched.batch_iterations(1)
+            np.testing.assert_array_equal(got[0], want)
+        for stat in ("samples_checked", "rct_failures", "apt_failures"):
+            assert getattr(batched.monitor, stat) == \
+                getattr(sequential.monitor, stat)
+
+    def test_random_bits_pools_surplus(self, module_m13, entropy_scale):
+        monitored = self._pair(module_m13, entropy_scale)
+        monitored.random_bits(100)
+        counter = monitored.trng.executor._direct_counter
+        checked = monitored.monitor.samples_checked
+        again = monitored.random_bits(100)   # surplus covers this
+        assert again.size == 100
+        assert monitored.trng.executor._direct_counter == counter
+        assert monitored.monitor.samples_checked == checked
+
+    def test_dead_segment_alarm_matches_per_iteration_path(
+            self, fresh_module, small_geometry):
+        scale = small_geometry.row_bits / 65536
+        by_iteration = MonitoredTrng(
+            QuacTrng(fresh_module, entropy_per_block=256.0 * scale),
+            HealthMonitor(claimed_min_entropy=0.01,
+                          consecutive_failures_to_alarm=2))
+        by_batch = MonitoredTrng(
+            QuacTrng(fresh_module, entropy_per_block=256.0 * scale),
+            HealthMonitor(claimed_min_entropy=0.01,
+                          consecutive_failures_to_alarm=2))
+        by_iteration.trng.data_pattern = "1111"   # drift to deterministic
+        by_batch.trng.data_pattern = "1111"
+        with pytest.raises(HealthTestFailure):
+            for _ in range(8):
+                by_iteration.iteration()
+        with pytest.raises(HealthTestFailure):
+            by_batch.random_bits(50_000)
+        # A dead segment fails deterministically, so both paths must
+        # reject at the same read-out with identical accounting.
+        for stat in ("samples_checked", "rct_failures", "_consecutive"):
+            assert getattr(by_batch.monitor, stat) == \
+                getattr(by_iteration.monitor, stat), stat
+
+
 class TestTemperatureManager:
     @pytest.fixture(scope="class")
     def managed(self, module_m13, entropy_scale):
@@ -154,3 +328,41 @@ class TestTemperatureManager:
     def test_stored_entries_accounting(self, managed):
         assert managed.stored_column_entries() == sum(
             sum(e.trng.sib_per_bank) for e in managed._entries)
+
+    def test_batch_iterations_uses_active_range(self, managed,
+                                                module_m13):
+        module_m13.temperature_c = 50.0
+        active = managed.active_entry().trng
+        bits, latency = managed.batch_iterations(3)
+        assert bits.shape == (3, active.bits_per_iteration)
+        assert latency == pytest.approx(3 * active.iteration_latency_ns)
+
+    def test_random_bits_pools_surplus(self, managed, module_m13):
+        module_m13.temperature_c = 50.0
+        managed.random_bits(100)
+        assert len(managed._pool) > 0
+        counter = managed.active_entry().trng.executor._direct_counter
+        again = managed.random_bits(100)   # surplus covers this
+        assert again.size == 100
+        assert managed.active_entry().trng.executor._direct_counter == \
+            counter
+
+    def test_pool_flushed_when_range_changes(self, managed, module_m13):
+        # Surplus conditioned under one range's plans must not be
+        # served once the sensor moves to another range.
+        module_m13.temperature_c = 50.0
+        managed.random_bits(100)
+        low_entry = managed.active_entry()
+        assert len(managed._pool) > 0
+        try:
+            module_m13.temperature_c = 85.0
+            high_trng = managed.active_entry().trng
+            assert managed.active_entry() is not low_entry
+            counter = high_trng.executor._direct_counter
+            out = managed.random_bits(100)
+            assert out.size == 100
+            # The stale pool was discarded and the high range harvested.
+            assert managed._pool_entry is managed.active_entry()
+            assert high_trng.executor._direct_counter > counter
+        finally:
+            module_m13.temperature_c = 50.0

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.core.health import HealthMonitor, HealthTestFailure
 from repro.core.multichannel import SystemTrng, reference_system
 from repro.dram.module_factory import build_table3_population
 from repro.errors import ConfigurationError, InsufficientEntropyError
@@ -90,6 +91,76 @@ class TestSystemTrng:
     def test_empty_system_rejected(self):
         with pytest.raises(ConfigurationError):
             SystemTrng([])
+
+
+class TestMonitoredSystem:
+    """Per-channel health monitoring over the batched system harvest."""
+
+    def _monitored_system(self, small_geometry, entropy_scale,
+                          names=("M13", "M6")):
+        modules = build_table3_population(small_geometry,
+                                          names=list(names))
+        monitors = [HealthMonitor(claimed_min_entropy=0.01,
+                                  consecutive_failures_to_alarm=2)
+                    for _ in modules]
+        system = SystemTrng(modules,
+                            entropy_per_block=256.0 * entropy_scale,
+                            monitors=monitors)
+        return system, monitors
+
+    def test_monitor_count_must_match_channels(self, small_geometry,
+                                               entropy_scale):
+        modules = build_table3_population(small_geometry,
+                                          names=["M13", "M6"])
+        with pytest.raises(ConfigurationError):
+            SystemTrng(modules, entropy_per_block=256.0 * entropy_scale,
+                       monitors=[HealthMonitor(claimed_min_entropy=0.01)])
+
+    def test_healthy_monitored_system_generates(self, small_geometry,
+                                                entropy_scale):
+        system, monitors = self._monitored_system(small_geometry,
+                                                  entropy_scale)
+        stream = system.random_bits(
+            3 * system.bits_per_system_iteration())
+        assert abs(stream.mean() - 0.5) < 0.05
+        assert all(m.samples_checked > 0 for m in monitors)
+        assert all(m.rct_failures == 0 for m in monitors)
+
+    def test_failed_channel_keeps_healthy_channels_pooled_bits(
+            self, small_geometry, entropy_scale):
+        # The regression this guards: a HealthTestFailure raised for
+        # one channel mid-batch must not discard bits that healthy
+        # channels already contributed to the pool in the same round.
+        system, monitors = self._monitored_system(small_geometry,
+                                                  entropy_scale)
+        system.channels[1].data_pattern = "1111"   # channel 1 goes dead
+        with pytest.raises(HealthTestFailure):
+            system.random_bits(4 * system.bits_per_system_iteration())
+        pooled = len(system._pool)
+        assert pooled > 0, "healthy channel's bits were lost"
+        # Only the healthy channel contributed: pooled bits come in
+        # whole iterations of channel 0.
+        assert pooled % system.channels[0].bits_per_iteration == 0
+        assert monitors[0].rct_failures == 0
+        assert monitors[1].rct_failures > 0
+        # The surviving pool serves later draws without re-harvesting
+        # (and therefore without re-raising).
+        counters = [t.executor._direct_counter for t in system.channels]
+        served = system.random_bits(min(64, pooled))
+        assert served.size == min(64, pooled)
+        assert [t.executor._direct_counter
+                for t in system.channels] == counters
+
+    def test_unmonitored_entries_allowed(self, small_geometry,
+                                         entropy_scale):
+        modules = build_table3_population(small_geometry,
+                                          names=["M13", "M6"])
+        system = SystemTrng(
+            modules, entropy_per_block=256.0 * entropy_scale,
+            monitors=[HealthMonitor(claimed_min_entropy=0.01), None])
+        system.channels[1].data_pattern = "1111"   # dead but unwatched
+        out = system.random_bits(2 * system.bits_per_system_iteration())
+        assert out.size == 2 * system.bits_per_system_iteration()
 
 
 class TestReferenceSystem:
