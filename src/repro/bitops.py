@@ -218,6 +218,44 @@ class BitBuffer:
         self._start = 0
         self._end = 0
 
+    # -- buffer-to-buffer (the double-buffer primitives) ---------------
+
+    def swap(self, other: "BitBuffer") -> None:
+        """Exchange contents with ``other`` in O(1).
+
+        The front/back swap of the double-buffered harvest engine: when
+        the front buffer drains, it trades storage with the freshly
+        filled back buffer instead of copying bits.  Both objects keep
+        their identity; only their contents trade places.
+
+        >>> front, back = BitBuffer(), BitBuffer(np.ones(8, dtype=np.uint8))
+        >>> front.swap(back)
+        >>> len(front), len(back)
+        (8, 0)
+        """
+        self._data, other._data = other._data, self._data
+        self._start, other._start = other._start, self._start
+        self._end, other._end = other._end, self._end
+
+    def drain_into(self, other: "BitBuffer") -> None:
+        """Move every buffered bit to the tail of ``other`` (in order).
+
+        Used when the front buffer is *not* empty at swap time: the
+        back buffer's bits must queue behind the front's remainder to
+        preserve stream order.  Whole bytes move through the packed
+        path when both cursors are byte-aligned.
+        """
+        if not len(self):
+            return
+        if self._start % 8 == 0 and other._end % 8 == 0:
+            whole, tail = divmod(len(self), 8)
+            if whole:
+                other.append_bytes(self.take_bytes(whole))
+            if tail:
+                other.append(self.take(tail))
+            return
+        other.append(self.take(len(self)))
+
     # -- internals -----------------------------------------------------
 
     def _reserve(self, extra_bits: int) -> None:

@@ -6,14 +6,23 @@
   segment initialization, QUAC, SIB splitting, SHA-256 conditioning;
 * :mod:`repro.core.parallel` -- pluggable serial / thread-pool /
   process-pool execution backends for the batched engine's per-bank
-  fan-out (bit-identical across backends and worker counts);
+  fan-out (bit-identical across backends and worker counts), with a
+  blocking ``map`` and a non-blocking ``submit_map`` sharing one
+  determinism contract;
+* :mod:`repro.core.harvest` -- the asynchronous double-buffered harvest
+  engine: refill rounds execute on the backend while the consumer
+  drains the pool, workers ship packed byte pools, and the output stays
+  bit-identical to the synchronous path;
 * :mod:`repro.core.throughput` -- iteration latency and throughput from
   tightly-scheduled command sequences (Sections 7.2 / 7.4 / Figure 13);
 * :mod:`repro.core.overheads` -- memory / storage / area accounting
   (Section 9).
 """
 
-from repro.core.parallel import (BankResult, BankTask, ExecutionBackend,
+from repro.core.harvest import (AsyncHarvestEngine, ChannelSpan,
+                                HarvestPlanner, HarvestRound)
+from repro.core.parallel import (BankResult, BankTask, CompletedResult,
+                                 ExecutionBackend, PendingResult,
                                  ProcessPoolBackend, SerialBackend,
                                  ThreadPoolBackend, available_backends,
                                  resolve_backend, run_bank_task)
@@ -29,9 +38,15 @@ from repro.core.health import (HealthMonitor, HealthTestFailure,
 from repro.core.temperature_manager import TemperatureManagedTrng
 
 __all__ = [
+    "AsyncHarvestEngine",
     "BankResult",
     "BankTask",
+    "ChannelSpan",
+    "CompletedResult",
     "ExecutionBackend",
+    "HarvestPlanner",
+    "HarvestRound",
+    "PendingResult",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",

@@ -112,6 +112,23 @@ class HealthMonitor:
         paper's ~1800 entropy bits per 64K-bit segment.
     window:
         APT window size (SP 800-90B uses 512 for binary sources).
+    consecutive_failures_to_alarm:
+        Unhealthy blocks in a row before :class:`HealthTestFailure`
+        raises (one failure may be bad luck; a streak is a broken
+        source).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> monitor = HealthMonitor(claimed_min_entropy=0.5)
+    >>> monitor.rct_cutoff                 # 1 + ceil(20 / 0.5)
+    41
+    >>> bool(monitor.check(np.resize([0, 1], 1024)))   # healthy block
+    True
+    >>> monitor.samples_checked
+    1024
+    >>> bool(monitor.check(np.zeros(1024, dtype=np.uint8)))  # dead block
+    False
     """
 
     claimed_min_entropy: float = 0.02
@@ -196,9 +213,17 @@ class HealthMonitor:
         exact order a loop of per-iteration harvests would present raw
         blocks to :meth:`check` -- and fed through :meth:`check_many`.
         The one place the ordering contract lives, shared by every
-        monitored batched path.
+        monitored batched path, synchronous or async: results read
+        through :meth:`~repro.core.parallel.BankResult.raw_matrix`, so
+        packed (worker-side pooled) and unpacked rounds are monitored
+        identically.
         """
-        raw = np.stack([result.raw for result in results], axis=1)
+        matrices = [result.raw_matrix() for result in results]
+        if any(matrix is None for matrix in matrices):
+            raise BitstreamError(
+                "monitored batch results must carry raw read-outs "
+                "(plan with collect_raw=True)")
+        raw = np.stack(matrices, axis=1)
         return self.check_many(
             raw.reshape(iterations * len(results), -1))
 

@@ -30,10 +30,12 @@ from typing import Iterator, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bitops import BitBuffer
+from repro.core.harvest import (AsyncHarvestEngine, ChannelSpan,
+                                HarvestRound)
 from repro.core.health import (HealthMonitor, HealthTestFailure,
                                monitored_batch_cap)
-from repro.core.parallel import ExecutionBackend, resolve_backend, \
-    run_bank_task
+from repro.core.parallel import (BankResult, ExecutionBackend,
+                                 resolve_backend, run_bank_task)
 from repro.core.trng import QuacTrng, batch_count_for
 from repro.core.throughput import TrngConfiguration
 from repro.dram.device import BEST_DATA_PATTERN, DramModule
@@ -61,6 +63,33 @@ class SystemTrng:
         monitor is present, the channel's raw read-outs are checked
         through :meth:`HealthMonitor.check_many` before its conditioned
         bits enter the pool.
+    async_harvest:
+        Route refill rounds through the double-buffered
+        :class:`~repro.core.harvest.AsyncHarvestEngine`: while the
+        consumer drains the pool, the next planned round is already in
+        flight on the backend, and workers ship packed byte pools
+        instead of unpacked matrices.  Output is **bit-identical** to
+        the synchronous path for any request sequence (pinned by the
+        golden streams in ``tests/test_determinism.py``).  Monitor
+        verdicts are applied when an in-flight round lands; healthy
+        channels' bits are pooled before any alarm re-raises, exactly
+        as in the synchronous path.
+
+    Example
+    -------
+    >>> from repro.dram.geometry import DramGeometry
+    >>> from repro.dram.module_factory import build_table3_population
+    >>> geometry = DramGeometry.small(segments_per_bank=16,
+    ...                               cache_blocks_per_row=4)
+    >>> modules = build_table3_population(geometry, names=["M13", "M4"])
+    >>> system = SystemTrng(modules, entropy_per_block=256.0
+    ...                     * geometry.row_bits / 65536)
+    >>> system.n_channels
+    2
+    >>> len(system.random_bytes(32))      # round-robin across channels
+    32
+    >>> system.pooled_bits > 0            # the surplus stays pooled
+    True
     """
 
     def __init__(self, modules: Sequence[DramModule],
@@ -69,7 +98,8 @@ class SystemTrng:
                  entropy_per_block: float = 256.0,
                  backend: Optional[ExecutionBackend] = None,
                  monitors: Optional[Sequence[Optional[HealthMonitor]]]
-                 = None) -> None:
+                 = None,
+                 async_harvest: bool = False) -> None:
         if not modules:
             raise ConfigurationError("need at least one channel module")
         self.backend = resolve_backend(backend)
@@ -89,9 +119,12 @@ class SystemTrng:
             self.monitors = list(monitors)
         self._next_channel = 0
         self._pool = BitBuffer()
+        self.async_harvest = async_harvest
+        self._harvest_engine: Optional[AsyncHarvestEngine] = None
 
     @property
     def n_channels(self) -> int:
+        """Number of channels (one independent generator each)."""
         return len(self.channels)
 
     @property
@@ -162,6 +195,80 @@ class SystemTrng:
         self._next_channel = index
         return plan
 
+    # ------------------------------------------------------------------
+    # Harvest-planner protocol (repro.core.harvest)
+    # ------------------------------------------------------------------
+
+    def plan_round(self, deficit_bits: int,
+                   pack_output: bool = False) -> HarvestRound:
+        """Plan one multi-channel refill round toward ``deficit_bits``.
+
+        The system instance of the
+        :class:`~repro.core.harvest.HarvestPlanner` protocol: the
+        round-robin schedule (:meth:`_harvest_plan`) picks channels and
+        batch sizes, then every scheduled channel's per-bank tasks are
+        planned *serially in schedule order* -- fixing the child-RNG
+        keys and the rotation cursor exactly as the synchronous path
+        does, whatever backend later executes the round.  Monitored
+        channels' tasks carry their raw read-outs
+        (``collect_raw=True``) so verdicts can be applied at gather
+        time.
+        """
+        plan = self._harvest_plan(deficit_bits)
+        tasks: List = []
+        spans: List[ChannelSpan] = []
+        yield_bits = 0
+        for channel, count in plan:
+            monitored = self.monitors[channel] is not None
+            bank_tasks = self.channels[channel].plan_batch(
+                count, collect_raw=monitored, pack_output=pack_output)
+            spans.append(ChannelSpan(channel=channel, iterations=count,
+                                     start=len(tasks),
+                                     stop=len(tasks) + len(bank_tasks)))
+            tasks.extend(bank_tasks)
+            yield_bits += count * self.channels[channel].bits_per_iteration
+        return HarvestRound(tasks=tasks, spans=spans,
+                            yield_bits=yield_bits)
+
+    def gather_round(self, round_: HarvestRound,
+                     results: Sequence[BankResult],
+                     pool: BitBuffer) -> Optional[HealthTestFailure]:
+        """Account one landed round: monitor, then pool healthy bits.
+
+        Each channel's results are health-checked (when a monitor is
+        configured) and its conditioned bits appended to ``pool`` in
+        schedule order.  A channel whose monitor alarms contributes
+        nothing, but every healthy channel's bits are pooled first; the
+        round's *first* failure is **returned**, not raised, so callers
+        (the synchronous loop and the async engine alike) can commit
+        the healthy bits before propagating the alarm.
+        """
+        failure: Optional[HealthTestFailure] = None
+        for span in round_.spans:
+            chunk = results[span.start:span.stop]
+            monitor = self.monitors[span.channel]
+            if monitor is not None:
+                try:
+                    monitor.check_bank_results(chunk, span.iterations)
+                except HealthTestFailure as exc:
+                    if failure is None:
+                        failure = exc
+                    continue
+            pool.append(self.channels[span.channel].assemble_batch(chunk))
+        return failure
+
+    @property
+    def harvest_engine(self) -> AsyncHarvestEngine:
+        """The double-buffered engine behind ``async_harvest`` draws.
+
+        Built lazily on first use; exposed for introspection
+        (``pending_rounds``, ``back_bits``), readahead control, and
+        teardown (``cancel_pending`` / ``drain``).
+        """
+        if self._harvest_engine is None:
+            self._harvest_engine = AsyncHarvestEngine(self, self.backend)
+        return self._harvest_engine
+
     def _refill(self, n_bits: int) -> None:
         """Top the pool up to ``n_bits`` in planned parallel rounds.
 
@@ -173,31 +280,19 @@ class SystemTrng:
         alarms contributes nothing, but every healthy channel's bits
         are pooled *before* the first alarm re-raises -- pooled bits
         survive the failure and serve later draws.
+
+        With ``async_harvest`` the same plan/gather methods run inside
+        the :class:`~repro.core.harvest.AsyncHarvestEngine`, which
+        overlaps round execution with pooling and serving -- one code
+        path decides what to generate, two decide when.
         """
+        if self.async_harvest:
+            self.harvest_engine.fill(self._pool, n_bits)
+            return
         while len(self._pool) < n_bits:
-            plan = self._harvest_plan(n_bits - len(self._pool))
-            tasks, spans = [], []
-            for channel, count in plan:
-                monitored = self.monitors[channel] is not None
-                bank_tasks = self.channels[channel].plan_batch(
-                    count, collect_raw=monitored)
-                spans.append((channel, count, len(tasks),
-                              len(tasks) + len(bank_tasks)))
-                tasks.extend(bank_tasks)
-            results = self.backend.map(run_bank_task, tasks)
-            failure: Optional[HealthTestFailure] = None
-            for channel, count, start, stop in spans:
-                chunk = results[start:stop]
-                monitor = self.monitors[channel]
-                if monitor is not None:
-                    try:
-                        monitor.check_bank_results(chunk, count)
-                    except HealthTestFailure as exc:
-                        if failure is None:
-                            failure = exc
-                        continue
-                self._pool.append(
-                    self.channels[channel].assemble_batch(chunk))
+            round_ = self.plan_round(n_bits - len(self._pool))
+            results = self.backend.map(run_bank_task, round_.tasks)
+            failure = self.gather_round(round_, results, self._pool)
             if failure is not None:
                 raise failure
 

@@ -33,6 +33,21 @@ Backends are selected per generator (``QuacTrng(..., backend=...)``),
 by spec string (``"process:4"``), or globally through the
 ``REPRO_EXECUTION_BACKEND`` environment variable -- the latter is how
 CI runs the whole tier-1 suite under a process pool.
+
+Two calling conventions share the determinism contract:
+
+* :meth:`ExecutionBackend.map` blocks until every task's result is
+  available (the original PR-2 API);
+* :meth:`ExecutionBackend.submit_map` returns a :class:`PendingResult`
+  immediately, so the caller can keep planning, draining a bit pool, or
+  submitting further rounds while the tasks execute.  This is the
+  primitive the asynchronous harvest engine
+  (:mod:`repro.core.harvest`) double-buffers on.
+
+Because every result is a pure function of its task, *when* a result is
+gathered can never change *what* it contains -- ``submit_map(fn,
+tasks).result()`` equals ``map(fn, tasks)`` bit for bit on every
+backend.
 """
 
 from __future__ import annotations
@@ -46,6 +61,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.bitops import pack_bits, unpack_bits
 from repro.crypto.conditioner import Sha256Conditioner
 from repro.crypto.sha256 import Sha256
 from repro.dram.sense_amplifier import sample_settles
@@ -88,17 +104,83 @@ class BankTask:
     use_builtin_sha: bool = False
     #: Also return the raw read-out matrix (for health monitoring).
     collect_raw: bool = False
+    #: Accumulate the worker's output into packed byte pools and ship
+    #: only the bytes plus counts (8x smaller result pickles); read the
+    #: matrices back through :meth:`BankResult.digest_matrix` /
+    #: :meth:`BankResult.raw_matrix`.
+    pack_output: bool = False
+
+
+def _pack_matrix(matrix: np.ndarray) -> bytes:
+    """Pack a {0,1} matrix row-major into bytes (worker-side pool)."""
+    return pack_bits(np.ravel(matrix))
+
+
+def _unpack_matrix(data: bytes, rows: int, columns: int) -> np.ndarray:
+    """Invert :func:`_pack_matrix` given the shipped counts."""
+    return unpack_bits(data, rows * columns).reshape(rows, columns)
 
 
 @dataclass(frozen=True, eq=False)
 class BankResult:
-    """A worker's answer to one :class:`BankTask`."""
+    """A worker's answer to one :class:`BankTask`.
 
-    #: ``(iterations, DIGEST_BITS * n_blocks)`` conditioned bits.
-    digests: np.ndarray
+    Results travel in one of two interchangeable representations:
+    unpacked matrices (``digests`` / ``raw``, the default) or packed
+    byte pools plus counts (``digests_packed`` / ``raw_packed``, when
+    the task set ``pack_output`` -- an 8x smaller pickle for
+    multi-hundred-megabit draws).  Consumers read through
+    :meth:`digest_matrix` and :meth:`raw_matrix`, which return the
+    bit-identical matrix either way.
+    """
+
+    #: ``(iterations, DIGEST_BITS * n_blocks)`` conditioned bits, or
+    #: ``None`` when the task asked for packed output.
+    digests: Optional[np.ndarray] = None
     #: ``(iterations, segment_bits)`` raw read-outs, or ``None`` unless
-    #: the task asked for them.
+    #: the task asked for them (packed tasks use ``raw_packed``).
     raw: Optional[np.ndarray] = None
+    #: Packed conditioned bits (row-major), with shape counts below.
+    digests_packed: Optional[bytes] = None
+    #: Packed raw read-outs (row-major), or ``None``.
+    raw_packed: Optional[bytes] = None
+    #: Rows of both matrices (the task's ``iterations``).
+    iterations: int = 0
+    #: Columns of the conditioned matrix (bits per iteration).
+    digest_bits: int = 0
+    #: Columns of the raw matrix (segment bits).
+    raw_bits: int = 0
+
+    def digest_matrix(self) -> np.ndarray:
+        """The ``(iterations, digest_bits)`` conditioned-bit matrix.
+
+        Unpacks the worker's byte pool on demand; bit-identical to the
+        matrix an unpacked task would have shipped.
+        """
+        if self.digests is not None:
+            return self.digests
+        return _unpack_matrix(self.digests_packed, self.iterations,
+                              self.digest_bits)
+
+    def raw_matrix(self) -> Optional[np.ndarray]:
+        """The ``(iterations, raw_bits)`` read-out matrix, if collected."""
+        if self.raw is not None:
+            return self.raw
+        if self.raw_packed is None:
+            return None
+        return _unpack_matrix(self.raw_packed, self.iterations,
+                              self.raw_bits)
+
+    def payload_bytes(self) -> int:
+        """Approximate result-pickle payload (the matrices' bytes)."""
+        total = 0
+        for matrix in (self.digests, self.raw):
+            if matrix is not None:
+                total += matrix.nbytes
+        for packed in (self.digests_packed, self.raw_packed):
+            if packed is not None:
+                total += len(packed)
+        return total
 
 
 def run_bank_task(task: BankTask) -> BankResult:
@@ -108,7 +190,10 @@ def run_bank_task(task: BankTask) -> BankResult:
     Reproduces exactly what the serial fast path does for one bank:
     sample the settling distribution with the task's child generator,
     slice the SHA input blocks, and condition each block matrix in
-    bulk.
+    bulk.  With ``task.pack_output`` the conditioned bits (and raw
+    read-outs, when collected) are accumulated into packed byte pools
+    before shipping -- the content is bit-identical, only the wire
+    format changes.
     """
     rng = generator_from_key(task.key)
     raw = np.atleast_2d(
@@ -121,7 +206,74 @@ def run_bank_task(task: BankTask) -> BankResult:
         for start, stop in task.block_slices
     ]
     digests = np.concatenate(columns, axis=1)
-    return BankResult(digests, raw if task.collect_raw else None)
+    if task.pack_output:
+        return BankResult(
+            digests_packed=_pack_matrix(digests),
+            raw_packed=(_pack_matrix(raw) if task.collect_raw else None),
+            iterations=task.iterations,
+            digest_bits=digests.shape[1],
+            raw_bits=raw.shape[1] if task.collect_raw else 0)
+    return BankResult(digests=digests,
+                      raw=raw if task.collect_raw else None,
+                      iterations=task.iterations,
+                      digest_bits=digests.shape[1],
+                      raw_bits=raw.shape[1] if task.collect_raw else 0)
+
+
+# ----------------------------------------------------------------------
+# Pending results (the submit/poll half of the API)
+# ----------------------------------------------------------------------
+
+class PendingResult(abc.ABC):
+    """Handle to an in-flight :meth:`ExecutionBackend.submit_map`.
+
+    Poll with :meth:`done`, join with :meth:`result`.  Joining is
+    idempotent (the result list is cached), and the list is always in
+    submission order -- gathering order can never reorder results, just
+    as scheduling order can never change them.
+    """
+
+    @abc.abstractmethod
+    def done(self) -> bool:
+        """True once every task's result is available without blocking."""
+
+    @abc.abstractmethod
+    def result(self) -> List:
+        """Block until complete; return results in submission order."""
+
+
+class CompletedResult(PendingResult):
+    """A :class:`PendingResult` that was computed eagerly at submit.
+
+    What :class:`SerialBackend` returns: the serial reference has no
+    concurrency to expose, so its "pending" rounds are already done --
+    which keeps callers of the submit/poll API backend-agnostic.
+    """
+
+    def __init__(self, results: List) -> None:
+        self._results = results
+
+    def done(self) -> bool:
+        return True
+
+    def result(self) -> List:
+        return self._results
+
+
+class _FuturePendingResult(PendingResult):
+    """Pending results backed by ``concurrent.futures`` futures."""
+
+    def __init__(self, futures: List) -> None:
+        self._futures = futures
+        self._results: Optional[List] = None
+
+    def done(self) -> bool:
+        return all(future.done() for future in self._futures)
+
+    def result(self) -> List:
+        if self._results is None:
+            self._results = [future.result() for future in self._futures]
+        return self._results
 
 
 # ----------------------------------------------------------------------
@@ -134,17 +286,56 @@ class ExecutionBackend(abc.ABC):
     Implementations must be *transparent*: ``backend.map(fn, tasks)``
     returns ``[fn(t) for t in tasks]`` in order, for any scheduling
     underneath.  The equivalence suite holds every backend to that.
+
+    The non-blocking half, :meth:`submit_map`, carries the same
+    contract: ``submit_map(fn, tasks).result() == map(fn, tasks)`` --
+    only *when* the work happens differs.
+
+    Example
+    -------
+    >>> backend = SerialBackend()
+    >>> backend.map(lambda x: x + 1, [1, 2, 3])
+    [2, 3, 4]
+    >>> pending = backend.submit_map(lambda x: 2 * x, [1, 2, 3])
+    >>> pending.done()          # serial completes eagerly at submit
+    True
+    >>> pending.result()
+    [2, 4, 6]
     """
 
     #: Short name used in spec strings and reports.
     name: str = "abstract"
 
+    #: True when results cross a process boundary (i.e. get pickled);
+    #: the async harvest engine packs worker output only where that
+    #: pays -- packing shrinks a pickle 8x, but threads share memory.
+    ships_pickled_results: bool = False
+
     @abc.abstractmethod
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """Apply ``fn`` to every task; results in submission order."""
 
+    def submit_map(self, fn: Callable, tasks: Sequence) -> PendingResult:
+        """Start mapping ``fn`` over ``tasks``; return without waiting.
+
+        The base implementation (used by :class:`SerialBackend`)
+        computes eagerly and returns a :class:`CompletedResult`; pooled
+        backends dispatch every task to their workers and return a
+        handle whose :meth:`PendingResult.done` goes true as the pool
+        drains.  Either way the gathered list is bit-identical to a
+        blocking :meth:`map` of the same tasks.
+        """
+        return CompletedResult(self.map(fn, tasks))
+
     def close(self) -> None:
-        """Release pooled workers (no-op for poolless backends)."""
+        """Release pooled workers (no-op for poolless backends).
+
+        Safe to call with rounds still in flight: pooled backends wait
+        for submitted work to finish, so an outstanding
+        :class:`PendingResult` stays joinable after close.  Closing is
+        idempotent, and a closed pooled backend transparently rebuilds
+        its pool on next use.
+        """
 
     def __enter__(self) -> "ExecutionBackend":
         return self
@@ -189,11 +380,23 @@ class _PooledBackend(ExecutionBackend):
         # result is identical either way (pure function of the task).
         if len(tasks) <= 1:
             return [fn(task) for task in tasks]
+        return list(self._ensure_pool().map(fn, tasks))
+
+    def submit_map(self, fn: Callable, tasks: Sequence) -> PendingResult:
+        tasks = list(tasks)
+        if not tasks:
+            return CompletedResult([])
+        # Unlike map(), even a single task goes to the pool: the caller
+        # asked for overlap, so the parent thread must stay free.
+        pool = self._ensure_pool()
+        return _FuturePendingResult([pool.submit(fn, task)
+                                     for task in tasks])
+
+    def _ensure_pool(self):
         with self._pool_lock:
             if self._pool is None:
                 self._pool = self._make_pool()
-            pool = self._pool
-        return list(pool.map(fn, tasks))
+            return self._pool
 
     def close(self) -> None:
         with self._pool_lock:
@@ -220,6 +423,7 @@ class ProcessPoolBackend(_PooledBackend):
     """Process-pool execution for full multi-core scaling."""
 
     name = "process"
+    ships_pickled_results = True
 
     def _make_pool(self):
         from concurrent.futures import ProcessPoolExecutor
@@ -265,6 +469,13 @@ def resolve_backend(spec=None) -> ExecutionBackend:
     ``REPRO_EXECUTION_BACKEND`` environment variable and falls back to
     serial.  String-resolved backends are shared per spec so pooled
     workers are reused across generators.
+
+    >>> sorted(available_backends())
+    ['process', 'serial', 'thread']
+    >>> resolve_backend("thread:2") is resolve_backend("thread:2")
+    True
+    >>> resolve_backend("process:4").max_workers
+    4
     """
     if isinstance(spec, ExecutionBackend):
         return spec

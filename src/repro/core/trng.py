@@ -35,6 +35,8 @@ from repro.bitops import BitBuffer
 from repro.controller.rowclone import (reserved_rows_for,
                                        rowclone_segment_init_program,
                                        check_rowclone_pattern)
+from repro.core.harvest import (AsyncHarvestEngine, ChannelSpan,
+                                HarvestRound)
 from repro.core.parallel import (BankResult, BankTask, ExecutionBackend,
                                  resolve_backend, run_bank_task)
 from repro.core.quac import QuacExecutor
@@ -121,6 +123,33 @@ class QuacTrng:
         follow the ``REPRO_EXECUTION_BACKEND`` environment variable
         (default serial).  Output is bit-identical across backends and
         worker counts.
+    async_harvest:
+        Route pooled draws through the double-buffered
+        :class:`~repro.core.harvest.AsyncHarvestEngine`: refill rounds
+        execute on the backend while the previous round's bits pool and
+        serve, and workers ship packed byte pools instead of unpacked
+        matrices.  Output is **bit-identical** to the synchronous path
+        for any request sequence (the golden streams in
+        ``tests/test_determinism.py`` replay under both modes); only
+        wall-clock behaviour changes.  The ``faithful=True`` path stays
+        synchronous by design.
+
+    Example
+    -------
+    >>> from repro.dram.geometry import DramGeometry
+    >>> from repro.dram.module_factory import build_module, spec_by_name
+    >>> geometry = DramGeometry.small(segments_per_bank=16,
+    ...                               cache_blocks_per_row=4)
+    >>> module = build_module(spec_by_name("M13"), geometry)
+    >>> trng = QuacTrng(module, entropy_per_block=256.0
+    ...                 * geometry.row_bits / 65536)
+    >>> bits = trng.random_bits(256)     # batched, pooled, packed
+    >>> int(bits.size), sorted(set(bits.tolist()))
+    (256, [0, 1])
+    >>> trng.random_bytes(4) == trng.random_bytes(4)   # fresh draws
+    False
+    >>> trng.throughput_gbps() > 0       # scheduled, not wall-clock
+    True
     """
 
     def __init__(self, module: DramModule,
@@ -128,7 +157,8 @@ class QuacTrng:
                  data_pattern: str = BEST_DATA_PATTERN,
                  entropy_per_block: float = 256.0,
                  use_builtin_sha: bool = False,
-                 backend: Optional[ExecutionBackend] = None) -> None:
+                 backend: Optional[ExecutionBackend] = None,
+                 async_harvest: bool = False) -> None:
         if configuration.uses_rowclone:
             check_rowclone_pattern(data_pattern)
         self.module = module
@@ -148,6 +178,8 @@ class QuacTrng:
             configuration).iteration()
         self._setup_reserved_rows()
         self._pool = BitBuffer()
+        self.async_harvest = async_harvest
+        self._harvest_engine: Optional[AsyncHarvestEngine] = None
 
     # ------------------------------------------------------------------
     # Characterization (step 0)
@@ -280,8 +312,8 @@ class QuacTrng:
         return self.backend.map(run_bank_task,
                                 self.plan_batch(n, collect_raw))
 
-    def plan_batch(self, n: int,
-                   collect_raw: bool = False) -> List[BankTask]:
+    def plan_batch(self, n: int, collect_raw: bool = False,
+                   pack_output: bool = False) -> List[BankTask]:
         """Plan ``n`` iterations as one picklable task per driven bank.
 
         Planning runs serially in the caller (each bank's child-RNG key
@@ -289,7 +321,10 @@ class QuacTrng:
         the sequential path does), so executing the returned tasks on
         *any* backend, in *any* order, with *any* worker count yields
         bit-identical results.  ``collect_raw`` asks workers to also
-        return the raw read-out matrices, for health monitoring.
+        return the raw read-out matrices, for health monitoring;
+        ``pack_output`` asks them to accumulate results into packed
+        byte pools worker-side (same bits, 8x smaller pickles -- the
+        async harvest engine's wire format).
         """
         if n <= 0:
             raise ConfigurationError(
@@ -309,24 +344,77 @@ class QuacTrng:
                 block_slices=slices,
                 entropy_per_block=self.conditioner.entropy_per_block,
                 use_builtin_sha=self.conditioner.use_builtin,
-                collect_raw=collect_raw))
+                collect_raw=collect_raw, pack_output=pack_output))
         return tasks
 
     def assemble_batch(self, results: List[BankResult]) -> np.ndarray:
         """Concatenate per-bank results into the iteration-major matrix.
 
         Row ``i`` of the result is iteration ``i``'s conditioned output
-        in the same bank/block order as :meth:`iteration`.
+        in the same bank/block order as :meth:`iteration`.  Packed and
+        unpacked results assemble identically (packing only changes the
+        wire format, never a bit).
         """
-        return np.concatenate([result.digests for result in results],
-                              axis=1)
+        return np.concatenate([result.digest_matrix()
+                               for result in results], axis=1)
+
+    # ------------------------------------------------------------------
+    # Harvest-planner protocol (repro.core.harvest)
+    # ------------------------------------------------------------------
+
+    def plan_round(self, deficit_bits: int,
+                   pack_output: bool = False) -> HarvestRound:
+        """Plan one refill round toward a ``deficit_bits`` deficit.
+
+        The single-channel instance of the
+        :class:`~repro.core.harvest.HarvestPlanner` protocol: one round
+        is one batch of :func:`batch_count_for` iterations, planned
+        serially through :meth:`plan_batch` (advancing the draw
+        counters exactly as the synchronous path would), laid out as a
+        single :class:`~repro.core.harvest.ChannelSpan`.
+        """
+        count = batch_count_for(deficit_bits, self.bits_per_iteration)
+        tasks = self.plan_batch(count, pack_output=pack_output)
+        return HarvestRound(
+            tasks=tasks,
+            spans=[ChannelSpan(channel=0, iterations=count,
+                               start=0, stop=len(tasks))],
+            yield_bits=count * self.bits_per_iteration)
+
+    def gather_round(self, round_: HarvestRound,
+                     results: List[BankResult],
+                     pool: BitBuffer) -> None:
+        """Pool a landed round's conditioned bits (no monitors here).
+
+        Returns ``None`` always: an unmonitored channel has no health
+        verdicts to defer.  Monitored harvests go through
+        :class:`~repro.core.health.MonitoredTrng` or a monitored
+        :class:`~repro.core.multichannel.SystemTrng`.
+        """
+        pool.append(self.assemble_batch(results))
+        return None
+
+    @property
+    def harvest_engine(self) -> AsyncHarvestEngine:
+        """The double-buffered engine behind ``async_harvest`` draws.
+
+        Built lazily on first use (so synchronous generators never pay
+        for it); exposed for introspection (``pending_rounds``,
+        ``back_bits``), readahead control, and teardown
+        (``cancel_pending`` / ``drain``).
+        """
+        if self._harvest_engine is None:
+            self._harvest_engine = AsyncHarvestEngine(self, self.backend)
+        return self._harvest_engine
 
     def random_bits(self, n_bits: int, faithful: bool = False) -> np.ndarray:
         """Generate exactly ``n_bits`` conditioned random bits.
 
         Bulk requests run through :meth:`batch_iterations`; surplus
         conditioned bits are pooled (packed) and served first on the
-        next call, so consecutive draws never regenerate.
+        next call, so consecutive draws never regenerate.  With
+        ``async_harvest`` the refill rounds overlap with pool draining
+        on the execution backend -- same bits, sooner.
         """
         if n_bits < 0:
             raise InsufficientEntropyError("bit count must be non-negative")
@@ -347,7 +435,10 @@ class QuacTrng:
     def _refill(self, n_bits: int, faithful: bool) -> None:
         """Top the pool up to ``n_bits`` through the batched fast path."""
         if not faithful:
-            harvest_into(self._pool, n_bits, lambda: self)
+            if self.async_harvest:
+                self.harvest_engine.fill(self._pool, n_bits)
+            else:
+                harvest_into(self._pool, n_bits, lambda: self)
             return
         while len(self._pool) < n_bits:
             bits, _latency = self.iteration(faithful=True)

@@ -201,6 +201,69 @@ class TestBackendResolution:
             resolve_backend(spec)
 
 
+class TestSubmitMap:
+    """The non-blocking half shares the blocking half's contract."""
+
+    def test_serial_submit_is_already_done(self):
+        pending = SerialBackend().submit_map(lambda x: x * 2, [1, 2, 3])
+        assert pending.done()
+        assert pending.result() == [2, 4, 6]
+
+    @pytest.mark.parametrize("backend_cls", [ThreadPoolBackend,
+                                             ProcessPoolBackend])
+    def test_submit_map_equals_map(self, backend_cls):
+        with backend_cls(2) as backend:
+            tasks = list(range(16))
+            pending = backend.submit_map(_square, tasks)
+            assert pending.result() == backend.map(_square, tasks)
+
+    def test_result_is_cached_and_ordered(self):
+        with ThreadPoolBackend(4) as backend:
+            pending = backend.submit_map(_square, range(32))
+            first = pending.result()
+            assert first == [x * x for x in range(32)]
+            assert pending.result() is first
+            assert pending.done()
+
+    def test_empty_submit_completes_immediately(self):
+        with ThreadPoolBackend(2) as backend:
+            pending = backend.submit_map(_square, [])
+            assert pending.done() and pending.result() == []
+
+    def test_single_task_submit_goes_to_pool(self):
+        # Unlike map(), submit of one task must not run inline -- the
+        # caller asked for the parent thread back.
+        backend = ThreadPoolBackend(2)
+        try:
+            pending = backend.submit_map(_square, [7])
+            assert backend._pool is not None
+            assert pending.result() == [49]
+        finally:
+            backend.close()
+
+    def test_pending_survives_backend_close(self):
+        # close() waits for submitted work, so a pending handle taken
+        # before close stays joinable after it.
+        backend = ProcessPoolBackend(2)
+        pending = backend.submit_map(_square, [3, 4])
+        backend.close()
+        assert pending.result() == [9, 16]
+
+    def test_bank_tasks_submit_identically(self, module_m13,
+                                           small_geometry):
+        trng = _fresh_trng(module_m13, small_geometry, SerialBackend())
+        tasks = trng.plan_batch(3)
+        want = [r.digest_matrix() for r in map(run_bank_task, tasks)]
+        with ProcessPoolBackend(2) as backend:
+            got = backend.submit_map(run_bank_task, tasks).result()
+        for a, b in zip(got, want):
+            np.testing.assert_array_equal(a.digest_matrix(), b)
+
+
+def _square(x):
+    return x * x
+
+
 class TestPooledBackendBehavior:
     def test_single_task_runs_inline(self):
         backend = ThreadPoolBackend(2)

@@ -213,3 +213,48 @@ class TestBitBuffer:
             buf.append(chunk)
             buf.take(4096)
         assert buf._data.size < 16 * 4096
+
+    # -- double-buffer primitives (the async harvest engine's swap) ----
+
+    def test_swap_exchanges_contents_in_place(self):
+        rng = np.random.default_rng(7)
+        bits = rng.integers(0, 2, 131).astype(np.uint8)
+        front = bitops.BitBuffer()
+        back = bitops.BitBuffer(bits)
+        front.swap(back)
+        assert len(back) == 0
+        np.testing.assert_array_equal(front.take(131), bits)
+
+    def test_swap_preserves_read_cursors(self):
+        a = bitops.BitBuffer(np.ones(16, dtype=np.uint8))
+        a.take(3)   # misaligned read cursor must travel with the data
+        b = bitops.BitBuffer(np.zeros(5, dtype=np.uint8))
+        a.swap(b)
+        assert len(a) == 5 and len(b) == 13
+        np.testing.assert_array_equal(b.take(13),
+                                      np.ones(13, dtype=np.uint8))
+
+    def test_drain_into_preserves_stream_order(self):
+        rng = np.random.default_rng(11)
+        head = rng.integers(0, 2, 77).astype(np.uint8)
+        tail = rng.integers(0, 2, 203).astype(np.uint8)
+        front = bitops.BitBuffer(head)
+        back = bitops.BitBuffer(tail)
+        back.drain_into(front)
+        assert len(back) == 0
+        np.testing.assert_array_equal(front.take(280),
+                                      np.concatenate([head, tail]))
+
+    def test_drain_into_byte_aligned_fast_path(self):
+        head = np.ones(64, dtype=np.uint8)    # byte-aligned tail in front
+        tail = np.zeros(128 + 5, dtype=np.uint8)
+        front = bitops.BitBuffer(head)
+        back = bitops.BitBuffer(tail)
+        back.drain_into(front)
+        np.testing.assert_array_equal(
+            front.take(197), np.concatenate([head, tail]))
+
+    def test_drain_empty_is_noop(self):
+        front = bitops.BitBuffer(np.ones(9, dtype=np.uint8))
+        bitops.BitBuffer().drain_into(front)
+        assert len(front) == 9

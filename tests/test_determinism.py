@@ -75,37 +75,46 @@ def _prefix(bits: np.ndarray, n: int = 64) -> str:
     return "".join(str(int(b)) for b in bits[:n])
 
 
-def quac_stream(backend) -> np.ndarray:
+#: Harvest modes the goldens are replayed under.  The asynchronous
+#: double-buffered engine (``async_harvest=True``) must reproduce the
+#: synchronous stream bit for bit -- same constants, no new goldens.
+HARVEST_MODES = [False, True]
+HARVEST_IDS = ["sync", "async"]
+
+
+def quac_stream(backend, async_harvest=False) -> np.ndarray:
     geometry = _geometry()
     module = build_module(spec_by_name("M13"), geometry)
     trng = QuacTrng(module, entropy_per_block=_entropy_per_block(geometry),
-                    backend=backend)
+                    backend=backend, async_harvest=async_harvest)
     return trng.random_bits(GOLDEN_BITS)
 
 
-def system_streams(backend):
+def system_streams(backend, async_harvest=False):
     geometry = _geometry()
     modules = build_table3_population(geometry, names=["M13", "M4"])
     system = SystemTrng(modules,
                         entropy_per_block=_entropy_per_block(geometry),
-                        backend=backend)
+                        backend=backend, async_harvest=async_harvest)
     first = system.random_bits(GOLDEN_BITS)
     second = system.random_bits(3 * system.bits_per_system_iteration())
     return first, second
 
 
+@pytest.mark.parametrize("async_harvest", HARVEST_MODES, ids=HARVEST_IDS)
 @pytest.mark.parametrize("make_backend", BACKENDS, ids=BACKEND_IDS)
-def test_quac_golden_stream(make_backend):
+def test_quac_golden_stream(make_backend, async_harvest):
     with make_backend() as backend:
-        stream = quac_stream(backend)
+        stream = quac_stream(backend, async_harvest)
     assert _prefix(stream) == QUAC_PREFIX
     assert _digest(stream) == QUAC_SHA256
 
 
+@pytest.mark.parametrize("async_harvest", HARVEST_MODES, ids=HARVEST_IDS)
 @pytest.mark.parametrize("make_backend", BACKENDS, ids=BACKEND_IDS)
-def test_system_golden_streams(make_backend):
+def test_system_golden_streams(make_backend, async_harvest):
     with make_backend() as backend:
-        first, second = system_streams(backend)
+        first, second = system_streams(backend, async_harvest)
     assert _digest(first) == SYSTEM_SHA256
     assert _prefix(second) == SYSTEM_SECOND_DRAW_PREFIX
     assert _digest(second) == SYSTEM_SECOND_DRAW_SHA256
