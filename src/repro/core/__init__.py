@@ -9,6 +9,10 @@
   fan-out (bit-identical across backends and worker counts), with a
   blocking ``map`` and a non-blocking ``submit_map`` sharing one
   determinism contract;
+* :mod:`repro.core.remote` -- the sharded multi-host backend: bank
+  tasks fan out to worker hosts over a length-prefixed pickle socket
+  protocol (``RemoteBackend`` / ``LocalCluster``), merged streams
+  bit-identical to the serial reference at any host count;
 * :mod:`repro.core.harvest` -- the asynchronous double-buffered harvest
   engine: refill rounds execute on the backend while the consumer
   drains the pool, workers ship packed byte pools, and the output stays
@@ -50,9 +54,12 @@ __all__ = [
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
+    "RemoteBackend",
+    "LocalCluster",
     "available_backends",
     "resolve_backend",
     "run_bank_task",
+    "shard_map",
     "QuacExecutor",
     "QuacTrng",
     "TrngConfiguration",
@@ -67,3 +74,16 @@ __all__ = [
     "MonitoredTrng",
     "TemperatureManagedTrng",
 ]
+
+#: Remote names re-exported lazily (PEP 562): the sharded backend's
+#: socket/subprocess machinery loads only when actually used, matching
+#: the by-name-only registration in :mod:`repro.core.parallel`.
+_REMOTE_EXPORTS = ("RemoteBackend", "LocalCluster", "shard_map")
+
+
+def __getattr__(name):
+    if name in _REMOTE_EXPORTS:
+        from repro.core import remote
+        return getattr(remote, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

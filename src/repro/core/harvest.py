@@ -18,13 +18,15 @@ module overlaps those stages:
   :class:`~repro.bitops.BitBuffer`; the consumer drains the *front*
   buffer (the generator's serving pool); when the front drains, the
   buffers swap in O(1).
-* **Results ship packed where pickles cross processes.**  On backends
-  that pickle results (the process pool), engine rounds are planned
-  with ``pack_output=True``: workers accumulate conditioned bits (and
-  raw read-outs, on monitored channels) into packed byte pools
-  worker-side and ship only bytes plus counts -- an 8x smaller result
-  pickle for multi-hundred-megabit draws.  In-memory backends skip the
-  packing (pure overhead there); either way the bits are identical.
+* **Results ship packed where pickles cross process or host
+  boundaries.**  On backends that pickle results (the process pool and
+  the remote socket backend of :mod:`repro.core.remote`), engine
+  rounds are planned with ``pack_output=True``: workers accumulate
+  conditioned bits (and raw read-outs, on monitored channels) into
+  packed byte pools worker-side and ship only bytes plus counts -- an
+  8x smaller result pickle (and socket frame) for
+  multi-hundred-megabit draws.  In-memory backends skip the packing
+  (pure overhead there); either way the bits are identical.
 
 Determinism contract
 --------------------
@@ -127,6 +129,11 @@ class HarvestRound:
     yield_bits: int
     #: In-flight handle, set once the engine submits the round.
     pending: Optional[PendingResult] = field(default=None, repr=False)
+    #: Planner-private context carried through execution untouched --
+    #: e.g. the temperature range a round was planned under, so
+    #: :meth:`HarvestPlanner.gather_round` can tell whether a landing
+    #: round's plans still cover the sensor reading.
+    context: Optional[object] = field(default=None, repr=False)
 
 
 class HarvestPlanner:
@@ -173,7 +180,10 @@ class AsyncHarvestEngine:
     backend:
         Execution backend rounds are submitted to.  With the serial
         backend rounds complete at submit time (the reference
-        behaviour); thread and process pools genuinely overlap.
+        behaviour); thread pools, process pools, and remote worker
+        clusters genuinely overlap.  A remote round that loses a
+        worker host mid-flight is requeued inside the backend -- the
+        engine just sees the round land later, with identical bits.
     max_in_flight:
         Outstanding-round bound; the default 2 is the double buffer --
         one round being gathered/drained (front), one executing (back).
@@ -263,16 +273,33 @@ class AsyncHarvestEngine:
         """
         if n_bits < 0:
             raise InsufficientEntropyError("bit count must be non-negative")
+        stalls = 0
         while len(pool) < n_bits:
             self._prime(n_bits - len(pool))
             failure = None
+            gathered = 0
             if self._in_flight:
+                back_before = len(self._back)
                 failure = self._gather_next()
+                # The round's own contribution -- robust even when a
+                # planner flushes buffers at gather (the temperature
+                # manager discards a stale range's surplus), which can
+                # shrink the pool while still making real progress.
+                gathered = len(self._back) - back_before
             self._swap_forward(pool)
             if failure is not None:
                 raise failure
-            if (len(pool) < n_bits and not self._in_flight
-                    and not len(self._back)):
+            # A fruitless iteration (nothing gathered, nothing
+            # committed) gets one replan: a legitimately *discarded*
+            # round -- e.g. a temperature-managed round landing after
+            # a sensor excursion -- is followed by a fresh round
+            # planned under the new conditions.  Two in a row means
+            # the planner covers no part of the deficit.
+            if gathered > 0 or self._in_flight or len(self._back):
+                stalls = 0
+                continue
+            stalls += 1
+            if stalls >= 2:
                 raise InsufficientEntropyError(
                     f"planner covered no part of a {n_bits - len(pool)}"
                     f"-bit deficit")

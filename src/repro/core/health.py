@@ -32,7 +32,9 @@ from typing import Tuple
 import numpy as np
 
 from repro.bitops import BitBuffer, is_binary
-from repro.core.trng import QuacTrng, harvest_into
+from repro.core.harvest import (AsyncHarvestEngine, ChannelSpan,
+                                HarvestRound)
+from repro.core.trng import QuacTrng, batch_count_for, harvest_into
 from repro.errors import (BitstreamError, ConfigurationError,
                           ReproError)
 
@@ -280,13 +282,25 @@ class MonitoredTrng:
     sense-amplifier output, never the conditioned stream (SHA-256 output
     looks perfect even from a dead source -- exactly the failure the
     tests exist to catch).
+
+    With ``async_harvest=True`` the wrapper harvests through the
+    double-buffered :class:`~repro.core.harvest.AsyncHarvestEngine` on
+    the wrapped generator's backend: refill rounds execute while the
+    pool drains, raw read-outs travel with each round, and the
+    monitor's verdict is applied when a round *lands* -- so bits
+    pooled from rounds that passed stay pooled when a later in-flight
+    round alarms.  Output is bit-identical to the synchronous
+    monitored path for any request sequence.
     """
 
     def __init__(self, trng: QuacTrng,
-                 monitor: HealthMonitor = None) -> None:
+                 monitor: HealthMonitor = None,
+                 async_harvest: bool = False) -> None:
         self.trng = trng
         self.monitor = monitor or HealthMonitor()
         self._pool = BitBuffer()
+        self.async_harvest = async_harvest
+        self._harvest_engine = None
 
     @property
     def bits_per_iteration(self) -> int:
@@ -324,6 +338,59 @@ class MonitoredTrng:
         return (self.trng.assemble_batch(results),
                 n * self.trng.iteration_latency_ns)
 
+    # ------------------------------------------------------------------
+    # Harvest-planner protocol (repro.core.harvest)
+    # ------------------------------------------------------------------
+
+    def plan_round(self, deficit_bits: int,
+                   pack_output: bool = False) -> HarvestRound:
+        """Plan one monitored refill round toward ``deficit_bits``.
+
+        The monitored instance of the
+        :class:`~repro.core.harvest.HarvestPlanner` protocol: sized by
+        the exact arithmetic of the synchronous monitored harvest (the
+        batch cap tightened by raw volume, since every iteration's raw
+        read-out travels with the round), planned with
+        ``collect_raw=True`` so the verdict can be applied at gather
+        time.
+        """
+        count = max(1, min(
+            batch_count_for(deficit_bits, self.bits_per_iteration),
+            monitored_batch_cap(self.trng)))
+        tasks = self.trng.plan_batch(count, collect_raw=True,
+                                     pack_output=pack_output)
+        return HarvestRound(
+            tasks=tasks,
+            spans=[ChannelSpan(channel=0, iterations=count,
+                               start=0, stop=len(tasks))],
+            yield_bits=count * self.bits_per_iteration)
+
+    def gather_round(self, round_: HarvestRound, results,
+                     pool: BitBuffer):
+        """Monitor a landed round; pool its bits only when healthy.
+
+        Returns (never raises) the round's
+        :class:`HealthTestFailure`, exactly like the system planner --
+        the engine pools earlier healthy rounds' bits before the alarm
+        re-raises, so an in-flight alarm cannot destroy entropy the
+        monitor already passed.
+        """
+        span = round_.spans[0]
+        try:
+            self.monitor.check_bank_results(results, span.iterations)
+        except HealthTestFailure as failure:
+            return failure
+        pool.append(self.trng.assemble_batch(results))
+        return None
+
+    @property
+    def harvest_engine(self) -> AsyncHarvestEngine:
+        """The double-buffered engine behind ``async_harvest`` draws."""
+        if self._harvest_engine is None:
+            self._harvest_engine = AsyncHarvestEngine(self,
+                                                      self.trng.backend)
+        return self._harvest_engine
+
     def random_bits(self, n_bits: int) -> np.ndarray:
         """Generate ``n_bits`` with every contributing read-out checked.
 
@@ -332,8 +399,13 @@ class MonitoredTrng:
         bits are pooled and served first on the next call.  Batches are
         additionally capped by raw volume
         (:data:`MAX_MONITORED_RAW_BYTES`) since every iteration's raw
-        read-out travels with the batch.
+        read-out travels with the batch.  With ``async_harvest`` the
+        same rounds run through the double-buffered engine instead --
+        same bits, overlapped with serving.
         """
+        if self.async_harvest:
+            self.harvest_engine.fill(self._pool, n_bits)
+            return self._pool.take(n_bits)
         harvest_into(self._pool, n_bits, lambda: self,
                      max_iterations=monitored_batch_cap(self.trng))
         return self._pool.take(n_bits)

@@ -54,9 +54,11 @@ class SystemTrng:
     backend:
         Execution backend the system fans per-bank tasks out on (shared
         with every channel's generator); an
-        :class:`~repro.core.parallel.ExecutionBackend`, a spec string,
-        or ``None`` for the ``REPRO_EXECUTION_BACKEND`` default.
-        Output is bit-identical across backends and worker counts.
+        :class:`~repro.core.parallel.ExecutionBackend`, a spec string
+        (including ``"remote:..."`` for sharded multi-host
+        generation), or ``None`` for the ``REPRO_EXECUTION_BACKEND``
+        default.  Output is bit-identical across backends, worker
+        counts, and host counts.
     monitors:
         Optional per-channel health monitors (one entry per channel;
         entries may be ``None`` to leave a channel unmonitored).  When a
@@ -289,8 +291,10 @@ class SystemTrng:
         if self.async_harvest:
             self.harvest_engine.fill(self._pool, n_bits)
             return
+        pack = self.backend.ships_pickled_results
         while len(self._pool) < n_bits:
-            round_ = self.plan_round(n_bits - len(self._pool))
+            round_ = self.plan_round(n_bits - len(self._pool),
+                                     pack_output=pack)
             results = self.backend.map(run_bank_task, round_.tasks)
             failure = self.gather_round(round_, results, self._pool)
             if failure is not None:

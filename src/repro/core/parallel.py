@@ -16,7 +16,12 @@ interchangeable executors for it:
   and ``hashlib`` releases it for large buffers, so threads already
   overlap most of the hot path;
 * :class:`ProcessPoolBackend` -- a shared ``ProcessPoolExecutor`` for
-  full CPU scaling across cores.
+  full CPU scaling across cores;
+* :class:`~repro.core.remote.RemoteBackend` (in
+  :mod:`repro.core.remote`) -- sharded fan-out to worker *hosts* over
+  a length-prefixed pickle socket protocol, for scaling past one
+  machine (resolved here as ``"remote:2"`` for a localhost cluster or
+  ``"remote:host:port,..."`` for running workers).
 
 **Determinism contract.**  Every task carries its own child-RNG key,
 derived *serially* in the parent through the hierarchical
@@ -260,6 +265,27 @@ class CompletedResult(PendingResult):
         return self._results
 
 
+class FailedResult(PendingResult):
+    """A :class:`PendingResult` whose computation failed at submit.
+
+    What eager backends return when the map itself raised: the
+    exception is deferred to :meth:`result`, matching pooled futures
+    (and remote dispatches), where a task's exception surfaces at
+    join, never at submit.  The conformance suite
+    (``tests/core/test_backend_conformance.py``) holds every backend
+    to that.
+    """
+
+    def __init__(self, exception: BaseException) -> None:
+        self._exception = exception
+
+    def done(self) -> bool:
+        return True
+
+    def result(self) -> List:
+        raise self._exception
+
+
 class _FuturePendingResult(PendingResult):
     """Pending results backed by ``concurrent.futures`` futures."""
 
@@ -319,13 +345,18 @@ class ExecutionBackend(abc.ABC):
         """Start mapping ``fn`` over ``tasks``; return without waiting.
 
         The base implementation (used by :class:`SerialBackend`)
-        computes eagerly and returns a :class:`CompletedResult`; pooled
-        backends dispatch every task to their workers and return a
-        handle whose :meth:`PendingResult.done` goes true as the pool
-        drains.  Either way the gathered list is bit-identical to a
-        blocking :meth:`map` of the same tasks.
+        computes eagerly and returns a :class:`CompletedResult` (a
+        task's exception is deferred to :meth:`PendingResult.result`,
+        where pooled futures surface it); pooled backends dispatch
+        every task to their workers and return a handle whose
+        :meth:`PendingResult.done` goes true as the pool drains.
+        Either way the gathered list is bit-identical to a blocking
+        :meth:`map` of the same tasks.
         """
-        return CompletedResult(self.map(fn, tasks))
+        try:
+            return CompletedResult(self.map(fn, tasks))
+        except Exception as exc:
+            return FailedResult(exc)
 
     def close(self) -> None:
         """Release pooled workers (no-op for poolless backends).
@@ -440,6 +471,11 @@ _BACKENDS = {
     ProcessPoolBackend.name: ProcessPoolBackend,
 }
 
+#: The remote backend registers by name only: its class lives in
+#: :mod:`repro.core.remote` (which imports this module) and is pulled
+#: in lazily at resolution, so in-process users never pay the import.
+REMOTE_BACKEND_NAME = "remote"
+
 #: Backends resolved from spec strings are shared process-wide, so a
 #: suite running under ``REPRO_EXECUTION_BACKEND=process`` spins up one
 #: pool, not one per generator.  They are shut down at interpreter exit
@@ -457,7 +493,7 @@ atexit.register(_close_shared_backends)
 
 def available_backends() -> Tuple[str, ...]:
     """The recognised backend spec names."""
-    return tuple(_BACKENDS)
+    return tuple(_BACKENDS) + (REMOTE_BACKEND_NAME,)
 
 
 def resolve_backend(spec=None) -> ExecutionBackend:
@@ -465,13 +501,15 @@ def resolve_backend(spec=None) -> ExecutionBackend:
 
     Accepts an existing backend (returned as-is), a spec string
     (``"serial"``, ``"thread"``, ``"process"``, optionally with a
-    worker count as ``"process:4"``), or ``None`` -- which reads the
+    worker count as ``"process:4"``; ``"remote:2"`` for a two-worker
+    localhost cluster or ``"remote:host:port[,host:port...]"`` for
+    already-running worker hosts), or ``None`` -- which reads the
     ``REPRO_EXECUTION_BACKEND`` environment variable and falls back to
     serial.  String-resolved backends are shared per spec so pooled
-    workers are reused across generators.
+    workers (and remote clusters) are reused across generators.
 
     >>> sorted(available_backends())
-    ['process', 'serial', 'thread']
+    ['process', 'remote', 'serial', 'thread']
     >>> resolve_backend("thread:2") is resolve_backend("thread:2")
     True
     >>> resolve_backend("process:4").max_workers
@@ -489,6 +527,11 @@ def resolve_backend(spec=None) -> ExecutionBackend:
     if normalized in _shared_backends:
         return _shared_backends[normalized]
     name, _, count = normalized.partition(":")
+    if name == REMOTE_BACKEND_NAME:
+        from repro.core.remote import backend_from_spec
+        backend = backend_from_spec(count)
+        _shared_backends[normalized] = backend
+        return backend
     if name not in _BACKENDS:
         raise ConfigurationError(
             f"unknown execution backend {spec!r}; "

@@ -1,0 +1,180 @@
+"""The remote generation worker: serve bank tasks over a socket.
+
+One worker process is one *host* in a sharded generation deployment: it
+listens on a TCP port, accepts connections from
+:class:`~repro.core.remote.RemoteBackend` clients, and answers each
+``(task, …)`` message by executing the shipped function on the shipped
+task and returning the result -- the exact
+``result = fn(task)`` contract every in-process backend honors, moved
+across a length-prefixed pickle socket (:mod:`repro.core.remote.wire`).
+
+Workers are deliberately *stateless*: a task carries everything it
+needs (:class:`~repro.core.parallel.BankTask` travels with its child-RNG
+key, settling probabilities, and conditioning parameters), so a worker
+can be killed and its tasks requeued onto any other worker without
+moving a bit of output.  Each connection is served by its own thread,
+requests within a connection strictly in order.
+
+Run a host manually::
+
+    PYTHONPATH=src python -m repro.core.remote.worker --port 9123
+
+or let :class:`~repro.core.remote.LocalCluster` spawn localhost workers
+(``--port 0 --announce`` makes the worker print the ephemeral port it
+bound, which is how the cluster learns where its subprocesses listen).
+
+A task function that *raises* ships its exception back in an ``error``
+message and the backend re-raises it; only transport failures (the
+connection dying) count as a dead worker.
+
+.. warning::
+   **The wire is pickle over plain TCP: any peer that can connect to
+   a worker gets arbitrary code execution** (and a client symmetrically
+   unpickles worker replies).  Run workers bound to localhost (the
+   default) or on a trusted, isolated network segment only -- never on
+   an interface reachable from untrusted hosts.  Transport
+   authentication/TLS is a ROADMAP item, not a current feature.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import socket
+import threading
+from typing import Optional
+
+from repro.core.remote import wire
+from repro.errors import RemoteExecutionError
+
+#: Line printed (with the bound port) under ``--announce``.
+ANNOUNCE_PREFIX = "QUAC-REMOTE-WORKER"
+
+#: Accept-loop poll interval; bounds shutdown latency.
+_ACCEPT_POLL_S = 0.5
+
+
+def shippable_exception(exc: BaseException) -> BaseException:
+    """An exception safe to pickle into an ``error`` message.
+
+    Most exceptions pickle as themselves; one that cannot (custom
+    ``__init__`` signatures, unpicklable attributes) degrades to a
+    :class:`~repro.errors.RemoteExecutionError` carrying its repr --
+    the client still gets *an* exception naming the failure.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return RemoteExecutionError(
+            f"task raised an unpicklable {type(exc).__name__}: {exc!r}")
+
+
+def _serve_connection(conn: socket.socket, stop: threading.Event) -> None:
+    """Answer one client's messages until it disconnects."""
+    try:
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        while not stop.is_set():
+            try:
+                payload = wire.recv_raw_frame(conn)
+            except (wire.ConnectionClosed, OSError,
+                    RemoteExecutionError):
+                # Peer gone, or the stream is desynchronized (absurd
+                # header): nothing sane to answer on this connection.
+                return
+            try:
+                message = pickle.loads(payload)
+            except Exception as exc:
+                # The frame itself was fully read, so the connection
+                # is still in sync -- answer the client instead of
+                # dropping it (a task whose module this worker cannot
+                # import is that *task's* failure, not a dead worker).
+                try:
+                    wire.send_frame(conn, (wire.ERROR,
+                                           RemoteExecutionError(
+                        f"worker could not unpickle a task frame: "
+                        f"{type(exc).__name__}: {exc}")))
+                    continue
+                except OSError:
+                    return
+            kind = message[0]
+            if kind == wire.TASK:
+                _, fn, task = message
+                try:
+                    reply = (wire.RESULT, fn(task))
+                except BaseException as exc:
+                    reply = (wire.ERROR, shippable_exception(exc))
+            elif kind == wire.PING:
+                reply = (wire.PONG,)
+            elif kind == wire.SHUTDOWN:
+                try:
+                    wire.send_frame(conn, (wire.SHUTDOWN,))
+                finally:
+                    stop.set()
+                return
+            else:
+                reply = (wire.ERROR, RemoteExecutionError(
+                    f"unknown message kind {kind!r}"))
+            try:
+                wire.send_frame(conn, reply)
+            except OSError:
+                return
+            except Exception as exc:
+                # The result itself would not pickle; the client still
+                # deserves an answer on this connection.
+                wire.send_frame(conn, (wire.ERROR, RemoteExecutionError(
+                    f"task result could not be shipped: {exc}")))
+    finally:
+        conn.close()
+
+
+def serve(port: int, host: str = "127.0.0.1", announce: bool = False,
+          stop: Optional[threading.Event] = None) -> None:
+    """Listen on ``host:port`` and serve task connections until stopped.
+
+    ``port=0`` binds an ephemeral port; ``announce=True`` prints
+    ``QUAC-REMOTE-WORKER <port>`` to stdout once listening (the
+    :class:`~repro.core.remote.LocalCluster` handshake).  ``stop`` is
+    an optional external kill switch; a client's ``shutdown`` message
+    sets it too.
+    """
+    stop = stop if stop is not None else threading.Event()
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host, port))
+        listener.listen()
+        listener.settimeout(_ACCEPT_POLL_S)
+        if announce:
+            print(f"{ANNOUNCE_PREFIX} {listener.getsockname()[1]}",
+                  flush=True)
+        while not stop.is_set():
+            try:
+                conn, _address = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            thread = threading.Thread(target=_serve_connection,
+                                      args=(conn, stop), daemon=True)
+            thread.start()
+    finally:
+        listener.close()
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(
+        description="QUAC-TRNG remote generation worker")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to listen on (default localhost)")
+    parser.add_argument("--port", type=int, default=0,
+                        help="port to listen on (0 = ephemeral)")
+    parser.add_argument("--announce", action="store_true",
+                        help="print the bound port to stdout once "
+                             "listening")
+    args = parser.parse_args(argv)
+    serve(args.port, host=args.host, announce=args.announce)
+
+
+if __name__ == "__main__":
+    main()

@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.bitops import BitBuffer
+from repro.core.harvest import AsyncHarvestEngine, HarvestRound
 from repro.core.parallel import ExecutionBackend, resolve_backend
 from repro.core.trng import QuacTrng, harvest_into
 from repro.core.throughput import TrngConfiguration
@@ -68,6 +69,16 @@ class TemperatureManagedTrng:
         ``None`` for the ``REPRO_EXECUTION_BACKEND`` default), so a
         shared pool drives the batched harvest whichever range is
         active.
+    async_harvest:
+        Harvest through the double-buffered
+        :class:`~repro.core.harvest.AsyncHarvestEngine`: rounds are
+        planned against the active range's stored tables and execute
+        on the backend while the pool drains.  A round that lands
+        after the sensor has left the range it was planned under is
+        discarded, upholding the stored-table contract that output
+        always comes from plans covering the current temperature.
+        At a steady sensor reading the output is bit-identical to the
+        synchronous path.
     """
 
     def __init__(self, module: DramModule,
@@ -76,7 +87,8 @@ class TemperatureManagedTrng:
                  TrngConfiguration.RC_BGP,
                  data_pattern: str = BEST_DATA_PATTERN,
                  entropy_per_block: float = 256.0,
-                 backend: Optional[ExecutionBackend] = None) -> None:
+                 backend: Optional[ExecutionBackend] = None,
+                 async_harvest: bool = False) -> None:
         self.module = module
         self.configuration = configuration
         self.data_pattern = data_pattern
@@ -92,6 +104,8 @@ class TemperatureManagedTrng:
         self._pool = BitBuffer()
         #: Range entry whose plans filled the current pool surplus.
         self._pool_entry: Optional[RangeEntry] = None
+        self.async_harvest = async_harvest
+        self._harvest_engine: Optional[AsyncHarvestEngine] = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -194,6 +208,57 @@ class TemperatureManagedTrng:
             self._pool_entry = entry
         return entry.trng
 
+    # ------------------------------------------------------------------
+    # Harvest-planner protocol (repro.core.harvest)
+    # ------------------------------------------------------------------
+
+    def plan_round(self, deficit_bits: int,
+                   pack_output: bool = False) -> HarvestRound:
+        """Plan one refill round against the *active* range's tables.
+
+        The temperature-managed instance of the
+        :class:`~repro.core.harvest.HarvestPlanner` protocol: the
+        sensor is read per round (exactly as the synchronous path
+        reads it per batch) and the round remembers which range
+        planned it (:attr:`~repro.core.harvest.HarvestRound.context`),
+        so a landing round can be checked against the sensor again.
+        """
+        entry = self.active_entry()
+        round_ = entry.trng.plan_round(deficit_bits,
+                                       pack_output=pack_output)
+        round_.context = entry
+        return round_
+
+    def gather_round(self, round_: HarvestRound, results,
+                     pool: BitBuffer):
+        """Pool a landed round -- unless the sensor left its range.
+
+        A round whose planning range no longer covers the current
+        temperature is discarded (its bits were conditioned under
+        stale column-address tables); the engine simply plans the next
+        round under the now-active range.  The first round landing
+        under a *new* range additionally flushes surplus the old range
+        left behind -- the serving pool and the engine's back buffer
+        -- exactly as the synchronous path's per-batch
+        :meth:`_pooled_source` check does mid-draw, so output never
+        mixes ranges.
+        """
+        entry = round_.context
+        if not entry.covers(self.module.temperature_c):
+            return None
+        if entry is not self._pool_entry:
+            pool.clear()         # back buffer: gathered, not yet served
+            self._pool.clear()   # serving pool: the old range's surplus
+            self._pool_entry = entry
+        return entry.trng.gather_round(round_, results, pool)
+
+    @property
+    def harvest_engine(self) -> AsyncHarvestEngine:
+        """The double-buffered engine behind ``async_harvest`` draws."""
+        if self._harvest_engine is None:
+            self._harvest_engine = AsyncHarvestEngine(self, self.backend)
+        return self._harvest_engine
+
     def random_bits(self, n_bits: int) -> np.ndarray:
         """Generate bits, re-selecting the range as temperature moves.
 
@@ -203,9 +268,23 @@ class TemperatureManagedTrng:
         remaining deficit, and surplus conditioned bits are pooled and
         served first on the next call -- unless the temperature has
         left the range that generated them, which flushes the pool.
+        With ``async_harvest`` the same rounds run through the
+        double-buffered engine; a range change additionally drains the
+        engine's backlog (stale rounds discard themselves at gather).
         """
-        self._pooled_source()   # flush a stale pool before serving it
-        harvest_into(self._pool, n_bits, self._pooled_source)
+        if not self.async_harvest:
+            self._pooled_source()  # flush a stale pool before serving
+            harvest_into(self._pool, n_bits, self._pooled_source)
+            return self._pool.take(n_bits)
+        entry = self.active_entry()
+        if entry is not self._pool_entry:
+            # Everything backlogged -- pooled, buffered, or in flight
+            # -- was planned under another range's tables; gather and
+            # flush it before serving from the new range.
+            self.harvest_engine.drain(self._pool)
+            self._pool.clear()
+            self._pool_entry = entry
+        self.harvest_engine.fill(self._pool, n_bits)
         return self._pool.take(n_bits)
 
     def sib_per_bank(self) -> List[int]:

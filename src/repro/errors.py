@@ -63,3 +63,14 @@ class InsufficientEntropyError(ReproError):
 
 class BitstreamError(ReproError, ValueError):
     """A bit sequence has the wrong dtype, shape, or values outside {0, 1}."""
+
+
+class RemoteExecutionError(ReproError):
+    """The remote execution backend could not complete a task set.
+
+    Raised when every configured worker host has failed (tasks are
+    transparently requeued onto surviving hosts first), when a worker
+    subprocess could not be spawned, or when the wire protocol is
+    violated.  A task whose *function* raises is different: that
+    exception travels back over the wire and re-raises as itself.
+    """

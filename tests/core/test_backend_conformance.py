@@ -1,0 +1,153 @@
+"""The executable execution-backend contract.
+
+``docs/ARCHITECTURE.md``'s add-a-backend guide states the invariants a
+backend must keep; this suite *is* that contract, run against every
+registered backend -- serial, thread pool, process pool, and the
+remote socket backend on a localhost cluster.  A new backend earns its
+registration by appearing in :data:`BACKEND_IDS` and passing
+unchanged:
+
+* ``map(fn, tasks)`` equals ``[fn(t) for t in tasks]``, in order;
+* ``submit_map(fn, tasks).result()`` equals ``map(fn, tasks)``, in
+  submission order even when tasks complete out of order;
+* a task function's exception propagates (and the backend survives);
+* empty task lists complete immediately;
+* ``close()`` leaves outstanding ``PendingResult``\\ s joinable and the
+  backend transparently rebuilds on next use.
+
+Task functions live at module level so process pools and remote
+workers can unpickle them by reference; the remote cluster gets this
+directory on its workers' ``sys.path`` for exactly that reason.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.parallel import (ProcessPoolBackend, SerialBackend,
+                                 ThreadPoolBackend, available_backends)
+from repro.core.remote import LocalCluster, RemoteBackend
+
+#: Every registered backend, by conformance-fixture id.
+BACKEND_IDS = ["serial", "thread", "process", "remote"]
+
+
+def _square(x):
+    return x * x
+
+
+def _raise_on_marker(x):
+    if x == "boom":
+        raise ValueError("marked task")
+    return x
+
+
+def _sleep_inverse(pair):
+    """Sleep *longer* for earlier tasks, so completion order inverts
+    submission order on any concurrent backend."""
+    index, delay_s = pair
+    time.sleep(delay_s)
+    return index
+
+
+def _slow_square(x):
+    time.sleep(0.05)
+    return x * x
+
+
+@pytest.fixture(scope="module", params=BACKEND_IDS)
+def backend(request):
+    if request.param == "serial":
+        yield SerialBackend()
+        return
+    if request.param == "thread":
+        built = ThreadPoolBackend(2)
+    elif request.param == "process":
+        built = ProcessPoolBackend(2)
+    else:
+        built = RemoteBackend(cluster=LocalCluster(
+            2, extra_sys_paths=[os.path.dirname(__file__)]))
+    yield built
+    built.close()
+
+
+def test_every_registered_backend_is_conformance_tested():
+    assert set(BACKEND_IDS) == set(available_backends())
+
+
+def test_map_matches_builtin_map(backend):
+    tasks = list(range(17))
+    assert backend.map(_square, tasks) == list(map(_square, tasks))
+
+
+def test_submit_map_result_equals_map(backend):
+    tasks = list(range(23))
+    pending = backend.submit_map(_square, tasks)
+    assert pending.result() == backend.map(_square, tasks)
+    assert pending.done()
+
+
+def test_result_is_cached(backend):
+    pending = backend.submit_map(_square, [3, 4, 5])
+    first = pending.result()
+    assert pending.result() is first
+
+
+def test_ordering_under_out_of_order_completion(backend):
+    # Earlier tasks sleep longer, so on any backend with >= 2 workers
+    # the *completion* order inverts the submission order; the result
+    # list must not.
+    tasks = [(index, 0.05 * (4 - index) / 4) for index in range(5)]
+    assert backend.map(_sleep_inverse, tasks) == list(range(5))
+    assert backend.submit_map(_sleep_inverse, tasks).result() == \
+        list(range(5))
+
+
+def test_exception_propagates_from_map(backend):
+    with pytest.raises(ValueError):
+        backend.map(_raise_on_marker, [1, "boom", 3])
+
+
+def test_exception_propagates_from_submit_map(backend):
+    pending = backend.submit_map(_raise_on_marker, ["boom"])
+    with pytest.raises(ValueError):
+        pending.result()
+    # The failure is sticky: joining again re-raises, same as a
+    # concurrent.futures future.
+    with pytest.raises(ValueError):
+        pending.result()
+
+
+def test_backend_survives_a_task_exception(backend):
+    with pytest.raises(ValueError):
+        backend.map(_raise_on_marker, ["boom"])
+    assert backend.map(_square, [6]) == [36]
+
+
+def test_empty_task_list_completes_immediately(backend):
+    assert backend.map(_square, []) == []
+    pending = backend.submit_map(_square, [])
+    assert pending.done()
+    assert pending.result() == []
+
+
+def test_single_task(backend):
+    pending = backend.submit_map(_square, [9])
+    assert pending.result() == [81]
+
+
+def test_close_with_pending_keeps_result_joinable(backend):
+    # close() must wait for submitted work: a PendingResult taken
+    # before close stays joinable after it.
+    tasks = list(range(6))
+    pending = backend.submit_map(_slow_square, tasks)
+    backend.close()
+    assert pending.result() == [x * x for x in tasks]
+
+
+def test_backend_rebuilds_after_close(backend):
+    # Runs after the close test on the same (module-scoped) backend:
+    # a closed backend transparently rebuilds its pool/cluster.
+    backend.close()
+    assert backend.map(_square, [2, 3]) == [4, 9]

@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
+import repro.core.trng as trng_module
 from repro.core.health import (HealthMonitor, HealthTestFailure,
                                MonitoredTrng, adaptive_proportion_cutoff,
                                repetition_count_cutoff)
+from repro.core.parallel import ThreadPoolBackend
 from repro.core.temperature_manager import (DEFAULT_RANGES,
                                             TemperatureManagedTrng)
 from repro.core.trng import QuacTrng
@@ -364,5 +366,157 @@ class TestTemperatureManager:
             # The stale pool was discarded and the high range harvested.
             assert managed._pool_entry is managed.active_entry()
             assert high_trng.executor._direct_counter > counter
+        finally:
+            module_m13.temperature_c = 50.0
+
+
+class TestAsyncWrappers:
+    """async_harvest wired through the monitored and temperature-managed
+    wrappers: same bits, same verdicts, overlapped with serving."""
+
+    def _monitored(self, module, entropy_scale, **kwargs):
+        trng = QuacTrng(module, entropy_per_block=256.0 * entropy_scale)
+        return MonitoredTrng(trng, HealthMonitor(
+            claimed_min_entropy=0.01, consecutive_failures_to_alarm=2),
+            **kwargs)
+
+    def test_monitored_async_stream_matches_sync(self, module_m13,
+                                                 entropy_scale):
+        draws = [100, 5000, 37]
+        sync = self._monitored(module_m13, entropy_scale)
+        expected = [sync.random_bits(n) for n in draws]
+        with ThreadPoolBackend(2) as backend:
+            trng = QuacTrng(module_m13,
+                            entropy_per_block=256.0 * entropy_scale,
+                            backend=backend)
+            monitored = MonitoredTrng(
+                trng, HealthMonitor(claimed_min_entropy=0.01,
+                                    consecutive_failures_to_alarm=2),
+                async_harvest=True)
+            for n, want in zip(draws, expected):
+                np.testing.assert_array_equal(monitored.random_bits(n),
+                                              want)
+        assert monitored.harvest_engine.rounds_gathered > 0
+        for stat in ("samples_checked", "rct_failures", "apt_failures"):
+            assert getattr(monitored.monitor, stat) == \
+                getattr(sync.monitor, stat), stat
+
+    def test_monitored_async_inflight_alarm_keeps_pooled_bits(
+            self, fresh_module, small_geometry, monkeypatch):
+        # The open ROADMAP item's regression: a health alarm landing
+        # from an in-flight round must not destroy conditioned bits
+        # the monitor already passed in earlier rounds.
+        monkeypatch.setattr(trng_module, "MAX_BATCH_ITERATIONS", 4)
+        scale = small_geometry.row_bits / 65536
+        monitored = self._monitored(fresh_module, scale,
+                                    async_harvest=True)
+        surplus_draw = monitored.bits_per_iteration + 7
+        monitored.random_bits(surplus_draw)      # healthy rounds
+        pooled = len(monitored._pool)
+        assert pooled > 0                        # surplus survived take
+        monitored.trng.data_pattern = "1111"     # segment goes dead
+        with pytest.raises(HealthTestFailure):
+            monitored.random_bits(50_000)
+        # Healthy surplus still pooled, and it serves without any new
+        # harvest (which would re-raise).
+        assert len(monitored._pool) >= pooled
+        counter = monitored.trng.executor._direct_counter
+        served = monitored.random_bits(min(64, pooled))
+        assert served.size == min(64, pooled)
+        assert monitored.trng.executor._direct_counter == counter
+
+    def test_monitored_async_alarm_accounting_matches_sync(
+            self, fresh_module, small_geometry):
+        scale = small_geometry.row_bits / 65536
+        sync = self._monitored(fresh_module, scale)
+        sync.trng.data_pattern = "1111"
+        with pytest.raises(HealthTestFailure):
+            sync.random_bits(50_000)
+        hybrid = self._monitored(fresh_module, scale, async_harvest=True)
+        hybrid.trng.data_pattern = "1111"
+        with pytest.raises(HealthTestFailure):
+            hybrid.random_bits(50_000)
+        # The alarm lands on the same read-out with the same counters:
+        # in-flight rounds never gathered are never checked, exactly
+        # like rounds the synchronous path never harvested.
+        for stat in ("samples_checked", "rct_failures", "_consecutive"):
+            assert getattr(hybrid.monitor, stat) == \
+                getattr(sync.monitor, stat), stat
+
+    def test_temperature_async_matches_sync_at_steady_range(
+            self, module_m13, entropy_scale):
+        module_m13.temperature_c = 50.0
+        try:
+            sync = TemperatureManagedTrng(
+                module_m13, entropy_per_block=256.0 * entropy_scale)
+            expected = [sync.random_bits(n) for n in (4000, 333)]
+            managed = TemperatureManagedTrng(
+                module_m13, entropy_per_block=256.0 * entropy_scale,
+                async_harvest=True)
+            for want in expected:
+                np.testing.assert_array_equal(
+                    managed.random_bits(want.size), want)
+            assert managed.harvest_engine.rounds_gathered > 0
+        finally:
+            module_m13.temperature_c = 50.0
+
+    def test_temperature_async_range_change_discards_backlog(
+            self, module_m13, entropy_scale, monkeypatch):
+        # One-iteration rounds + readahead leave rounds genuinely in
+        # flight when the sensor moves.
+        monkeypatch.setattr(trng_module, "MAX_BATCH_ITERATIONS", 1)
+        module_m13.temperature_c = 50.0
+        try:
+            managed = TemperatureManagedTrng(
+                module_m13, entropy_per_block=256.0 * entropy_scale,
+                async_harvest=True)
+            managed.harvest_engine.readahead = True
+            bpi = managed.active_entry().trng.bits_per_iteration
+            managed.random_bits(2 * bpi + 7)
+            low_entry = managed._pool_entry
+            assert len(managed._pool) > 0
+            assert managed.harvest_engine.pending_rounds > 0
+            module_m13.temperature_c = 85.0
+            high_trng = managed.active_entry().trng
+            counter = high_trng.executor._direct_counter
+            out = managed.random_bits(100)
+            assert out.size == 100
+            # The stale backlog (pool, back buffer, in-flight rounds)
+            # was discarded; the high range harvested fresh bits.
+            assert managed._pool_entry is not low_entry
+            assert managed._pool_entry is managed.active_entry()
+            assert high_trng.executor._direct_counter > counter
+        finally:
+            module_m13.temperature_c = 50.0
+
+    def test_round_landing_after_midfill_excursion_is_replanned(
+            self, module_m13, entropy_scale, monkeypatch):
+        # The sensor moving between a round's plan and its landing --
+        # mid-fill, past random_bits' backlog guard -- must discard
+        # the stale round, flush the old range's surplus, and replan
+        # under the new range: never starve the engine, never mix
+        # ranges in one pool.
+        monkeypatch.setattr(trng_module, "MAX_BATCH_ITERATIONS", 1)
+        module_m13.temperature_c = 50.0
+        try:
+            managed = TemperatureManagedTrng(
+                module_m13, entropy_per_block=256.0 * entropy_scale,
+                async_harvest=True)
+            managed.harvest_engine.readahead = True
+            bpi = managed.active_entry().trng.bits_per_iteration
+            managed.random_bits(2 * bpi + 7)
+            assert managed.harvest_engine.pending_rounds > 0
+            # Excursion lands mid-fill: in-flight rounds are stale.
+            module_m13.temperature_c = 85.0
+            have = len(managed._pool)
+            high_bpi = managed.active_entry().trng.bits_per_iteration
+            assert have % high_bpi != 0     # stale surplus is tellable
+            managed.harvest_engine.fill(managed._pool, have + high_bpi)
+            # Everything pooled came from whole high-range rounds: the
+            # low range's surplus (and its in-flight rounds) are gone.
+            assert len(managed._pool) >= have + 1
+            assert len(managed._pool) % high_bpi == 0
+            assert managed._pool_entry is managed.active_entry()
+            assert managed.harvest_engine.rounds_gathered > 0
         finally:
             module_m13.temperature_c = 50.0

@@ -16,6 +16,7 @@ from repro.core.parallel import (BACKEND_ENV_VAR, ProcessPoolBackend,
                                  SerialBackend, ThreadPoolBackend,
                                  available_backends, resolve_backend,
                                  run_bank_task)
+from repro.core.remote import RemoteBackend
 from repro.core.trng import QuacTrng
 from repro.dram.module_factory import build_table3_population
 from repro.errors import ConfigurationError
@@ -192,13 +193,32 @@ class TestBackendResolution:
         assert resolve_backend(backend) is backend
 
     def test_known_backends_listed(self):
-        assert set(available_backends()) == {"serial", "thread", "process"}
+        assert set(available_backends()) == {"serial", "thread", "process",
+                                             "remote"}
 
     @pytest.mark.parametrize("spec", ["gpu", "thread:zero", "serial:2",
-                                      "process:0", 42])
+                                      "process:0", 42, "remote",
+                                      "remote:0", "remote:host",
+                                      "remote:host:notaport"])
     def test_bad_specs_rejected(self, spec):
         with pytest.raises(ConfigurationError):
             resolve_backend(spec)
+
+    def test_remote_cluster_spec_resolves_lazily(self):
+        # Resolution must not spawn workers: the cluster starts on
+        # first use, and the spec-resolved instance is shared.
+        backend = resolve_backend("remote:3")
+        assert isinstance(backend, RemoteBackend)
+        assert backend.n_workers == 3
+        assert backend._cluster is not None
+        assert not backend._cluster.running
+        assert resolve_backend("remote:3") is backend
+
+    def test_remote_address_spec_parses_hosts(self):
+        backend = resolve_backend("remote:hosta:9123,hostb:9124")
+        assert isinstance(backend, RemoteBackend)
+        assert backend._addresses == [("hosta", 9123), ("hostb", 9124)]
+        assert backend.n_workers == 2
 
 
 class TestSubmitMap:

@@ -1,0 +1,407 @@
+"""The remote backend's wire layer and failure model.
+
+Three concerns, bottom-up:
+
+* **Frame codec** -- the length-prefixed protocol must round-trip any
+  payload (0 bytes through multi-hundred-KiB frames), survive TCP
+  fragmentation, and fail loudly (``ConnectionClosed``, never a hang
+  or a truncated read) when the peer disappears mid-frame;
+* **Packed payloads** -- :attr:`~repro.core.parallel.BankTask.
+  pack_output` results are the wire format of every remote round;
+  randomized matrices must survive pack -> pickle -> frame -> unpickle
+  -> unpack bit for bit, including degenerate shapes;
+* **Cluster + failure model** -- localhost workers spawn/stop/respawn,
+  a killed worker's tasks requeue onto survivors, and only a fully
+  dead cluster raises :class:`~repro.errors.RemoteExecutionError`.
+
+The shard map's invariants (contiguity, completeness, balance) are
+property-tested here too: they are what keeps channels/banks grouped
+per host without ever influencing the merged stream.
+"""
+
+import pickle
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.parallel import (BankResult, _pack_matrix,
+                                 _unpack_matrix)
+from repro.core.remote import (LocalCluster, RemoteBackend, shard_map,
+                               task_weights, wire)
+from repro.errors import ConfigurationError, RemoteExecutionError
+
+def _module_local_fn(x):
+    """Shipped by reference; unimportable on pathless workers."""
+    return x
+
+
+#: Payload sizes the codec is fuzzed at: the empty frame, sub-header
+#: sizes, exact powers of two around typical buffers, and frames well
+#: past 64 KiB (a full-scale packed round is megabytes).
+FRAME_SIZES = [0, 1, 7, 8, 9, 1024, 65535, 65536, 65537, 300_000]
+
+
+@pytest.fixture()
+def sock_pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrameCodec:
+    @pytest.mark.parametrize("size", FRAME_SIZES)
+    def test_raw_frame_round_trip(self, sock_pair, size):
+        left, right = sock_pair
+        rng = np.random.default_rng(size)
+        payload = rng.integers(0, 256, size, dtype=np.uint8).tobytes()
+        sender = threading.Thread(target=wire.send_raw_frame,
+                                  args=(left, payload))
+        sender.start()
+        received = wire.recv_raw_frame(right)
+        sender.join()
+        assert received == payload
+
+    def test_many_frames_share_one_connection_in_order(self, sock_pair):
+        left, right = sock_pair
+        rng = np.random.default_rng(20210625)
+        payloads = [rng.integers(0, 256, int(n), dtype=np.uint8).tobytes()
+                    for n in rng.integers(0, 5000, 40)]
+
+        def send_all():
+            for payload in payloads:
+                wire.send_raw_frame(left, payload)
+
+        sender = threading.Thread(target=send_all)
+        sender.start()
+        received = [wire.recv_raw_frame(right) for _ in payloads]
+        sender.join()
+        assert received == payloads
+
+    def test_recv_reassembles_fragmented_frames(self, sock_pair):
+        # TCP may deliver a frame in arbitrarily small pieces; drip a
+        # frame through in 3-byte chunks and expect a clean read.
+        left, right = sock_pair
+        frame = wire.pack_frame(b"fragmentation test payload")
+
+        def drip():
+            for start in range(0, len(frame), 3):
+                left.sendall(frame[start:start + 3])
+                time.sleep(0.001)
+
+        sender = threading.Thread(target=drip)
+        sender.start()
+        assert wire.recv_raw_frame(right) == b"fragmentation test payload"
+        sender.join()
+
+    def test_peer_vanishing_mid_frame_raises(self, sock_pair):
+        left, right = sock_pair
+        header_plus_partial = wire.HEADER.pack(1000) + b"only this"
+        left.sendall(header_plus_partial)
+        left.close()
+        with pytest.raises(wire.ConnectionClosed):
+            wire.recv_raw_frame(right)
+
+    def test_peer_vanishing_before_header_raises(self, sock_pair):
+        left, right = sock_pair
+        left.close()
+        with pytest.raises(wire.ConnectionClosed):
+            wire.recv_raw_frame(right)
+
+    def test_absurd_header_rejected_without_allocating(self, sock_pair):
+        left, right = sock_pair
+        left.sendall(wire.HEADER.pack(wire.MAX_FRAME_BYTES + 1))
+        with pytest.raises(RemoteExecutionError):
+            wire.recv_raw_frame(right)
+
+    def test_message_round_trip(self, sock_pair):
+        left, right = sock_pair
+        message = (wire.RESULT, {"bits": np.arange(5), "n": 5})
+        sender = threading.Thread(target=wire.send_frame,
+                                  args=(left, message))
+        sender.start()
+        kind, payload = wire.recv_frame(right)
+        sender.join()
+        assert kind == wire.RESULT
+        np.testing.assert_array_equal(payload["bits"], np.arange(5))
+
+    def test_garbage_payload_raises_remote_error(self, sock_pair):
+        left, right = sock_pair
+        wire.send_raw_frame(left, b"\x80\x05 not a pickle")
+        with pytest.raises(RemoteExecutionError):
+            wire.recv_frame(right)
+
+
+class TestPackedPayloadRoundTrip:
+    """pack_output results across pickle + frame, randomized."""
+
+    #: (iterations, digest_bits, raw_bits) shapes, from the 0-bit
+    #: degenerate through a >64 KiB-frame round.
+    SHAPES = [(1, 0, 0), (1, 1, 0), (1, 256, 512), (3, 333, 0),
+              (37, 512, 1024), (200, 4096, 0), (64, 2048, 16384)]
+
+    @pytest.mark.parametrize("iterations,digest_bits,raw_bits", SHAPES)
+    def test_round_trip_is_bit_exact(self, sock_pair, iterations,
+                                     digest_bits, raw_bits):
+        left, right = sock_pair
+        rng = np.random.default_rng(iterations * 7919 + digest_bits)
+        digests = rng.integers(0, 2, (iterations, digest_bits),
+                               dtype=np.uint8)
+        raw = rng.integers(0, 2, (iterations, raw_bits),
+                           dtype=np.uint8) if raw_bits else None
+        result = BankResult(
+            digests_packed=_pack_matrix(digests),
+            raw_packed=_pack_matrix(raw) if raw is not None else None,
+            iterations=iterations, digest_bits=digest_bits,
+            raw_bits=raw_bits)
+
+        sender = threading.Thread(target=wire.send_frame,
+                                  args=(left, (wire.RESULT, result)))
+        sender.start()
+        kind, shipped = wire.recv_frame(right)
+        sender.join()
+        assert kind == wire.RESULT
+        np.testing.assert_array_equal(shipped.digest_matrix(), digests)
+        if raw is None:
+            assert shipped.raw_matrix() is None
+        else:
+            np.testing.assert_array_equal(shipped.raw_matrix(), raw)
+
+    def test_pack_unpack_inverse_on_random_shapes(self):
+        rng = np.random.default_rng(13)
+        for _ in range(25):
+            rows = int(rng.integers(1, 40))
+            columns = int(rng.integers(0, 700))
+            matrix = rng.integers(0, 2, (rows, columns), dtype=np.uint8)
+            packed = _pack_matrix(matrix)
+            assert len(packed) == -(-rows * columns // 8)
+            np.testing.assert_array_equal(
+                _unpack_matrix(packed, rows, columns), matrix)
+
+    def test_packed_frame_is_an_eighth_of_unpacked(self):
+        bits = np.ones((64, 4096), dtype=np.uint8)
+        packed = pickle.dumps(BankResult(
+            digests_packed=_pack_matrix(bits), iterations=64,
+            digest_bits=4096))
+        unpacked = pickle.dumps(BankResult(digests=bits, iterations=64,
+                                           digest_bits=4096))
+        assert len(packed) * 7 < len(unpacked)
+
+
+class TestShardMap:
+    def test_fuzzed_invariants(self):
+        rng = np.random.default_rng(20210625)
+        for _ in range(200):
+            n_tasks = int(rng.integers(1, 40))
+            n_shards = int(rng.integers(1, 12))
+            weights = rng.integers(1, 1025, n_tasks).tolist()
+            shards = shard_map(weights, n_shards)
+            # Complete, contiguous, in order, never empty, capped.
+            assert [i for shard in shards for i in shard] == \
+                list(range(n_tasks))
+            assert all(shard for shard in shards)
+            assert len(shards) <= min(n_shards, n_tasks)
+            # Deterministic: a pure function of the weights.
+            assert shard_map(weights, n_shards) == shards
+            # Balance: no shard exceeds a fair share by more than one
+            # task's weight (the greedy closes as soon as it crosses).
+            if len(shards) > 1:
+                fair = sum(weights) / len(shards)
+                for shard in shards[:-1]:
+                    load = sum(weights[i] for i in shard)
+                    assert load <= fair + max(weights)
+
+    def test_heavy_tail_still_uses_every_worker(self):
+        # Ascending weights must not collapse onto worker 0: the
+        # forced close guarantees later heavy tasks open shards too.
+        assert shard_map([1, 1, 4], 2) == [[0, 1], [2]]
+        assert shard_map([1, 2, 3, 10], 3) == [[0, 1], [2], [3]]
+
+    def test_task_weights_reads_iterations(self):
+        class Task:
+            def __init__(self, iterations):
+                self.iterations = iterations
+
+        assert task_weights([Task(5), Task(1), object()]) == [5, 1, 1]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            shard_map([1, 2], 0)
+
+
+class TestClusterAndFailureModel:
+    @pytest.fixture(scope="class")
+    def cluster_backend(self):
+        backend = RemoteBackend(cluster=LocalCluster(3))
+        yield backend
+        backend.close()
+
+    def test_cluster_spawns_and_pings(self, cluster_backend):
+        assert cluster_backend.ping() == [True, True, True]
+        assert cluster_backend._cluster.running
+
+    def test_killed_worker_tasks_requeue_onto_survivors(
+            self, cluster_backend):
+        assert cluster_backend.map(abs, [-1]) == [1]   # links warm
+        pending = cluster_backend.submit_map(abs, list(range(-9, 0)))
+        cluster_backend._cluster._procs[0].kill()
+        assert pending.result() == list(range(9, 0, -1))
+        # The survivors keep serving the next rounds.
+        assert cluster_backend.map(abs, [-7, -8]) == [7, 8]
+        assert sum(link.dead for link in cluster_backend._links) == 1
+
+    def test_fully_dead_cluster_raises_remote_error(self):
+        backend = RemoteBackend(cluster=LocalCluster(2))
+        try:
+            assert backend.map(abs, [-2]) == [2]
+            for proc in backend._cluster._procs:
+                proc.kill()
+            for proc in backend._cluster._procs:
+                proc.wait()
+            with pytest.raises(RemoteExecutionError):
+                backend.map(abs, [-1, -2, -3])
+        finally:
+            backend.close()
+
+    def test_close_respawns_on_next_use(self):
+        backend = RemoteBackend(cluster=LocalCluster(1))
+        try:
+            assert backend.map(abs, [-5]) == [5]
+            backend.close()
+            assert not backend._cluster.running
+            assert backend.map(abs, [-6]) == [6]   # respawned
+            assert backend._cluster.running
+        finally:
+            backend.close()
+
+    def test_stop_is_idempotent(self):
+        cluster = LocalCluster(1)
+        cluster.start()
+        assert cluster.running
+        cluster.stop()
+        cluster.stop()
+        assert not cluster.running
+
+    def test_backend_needs_exactly_one_worker_source(self):
+        with pytest.raises(ConfigurationError):
+            RemoteBackend()
+        with pytest.raises(ConfigurationError):
+            RemoteBackend(addresses=[("h", 1)],
+                          cluster=LocalCluster(1))
+        with pytest.raises(ConfigurationError):
+            RemoteBackend(addresses=[])
+        with pytest.raises(ConfigurationError):
+            LocalCluster(0)
+
+    def test_unpicklable_fn_fails_the_task_not_the_backend(
+            self, cluster_backend):
+        # A lambda cannot pickle by reference; the error must surface
+        # at join against the task (like a process pool's
+        # PicklingError), not crash a shard thread or hang.
+        with pytest.raises(Exception) as caught:
+            cluster_backend.map(lambda x: x, [1, 2])
+        assert not isinstance(caught.value, RemoteExecutionError)
+        assert cluster_backend.map(abs, [-4]) == [4]
+
+    def test_protocol_violation_marks_worker_dead_and_raises(self):
+        # A "worker" that answers with a corrupt (absurd-length) frame
+        # header desynchronizes the connection: the link must go dead
+        # and the dispatch must fail loudly, never spin on retries.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        address = listener.getsockname()
+
+        def bad_worker():
+            conn, _ = listener.accept()
+            wire.recv_frame(conn)          # swallow the task message
+            conn.sendall(wire.HEADER.pack(wire.MAX_FRAME_BYTES + 1))
+            conn.close()
+
+        server = threading.Thread(target=bad_worker, daemon=True)
+        server.start()
+        backend = RemoteBackend(addresses=[address])
+        try:
+            with pytest.raises(RemoteExecutionError):
+                backend.map(abs, [-1])
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            listener.close()
+            server.join(timeout=5)
+
+    def test_ping_protocol_violation_is_false_not_raised(self):
+        # ping() returns bool, period: a worker answering with a
+        # corrupt frame is a dead link, not an exception out of a
+        # liveness probe.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        address = listener.getsockname()
+
+        def bad_worker():
+            conn, _ = listener.accept()
+            wire.recv_frame(conn)          # swallow the ping message
+            conn.sendall(wire.HEADER.pack(wire.MAX_FRAME_BYTES + 1))
+            conn.close()
+
+        server = threading.Thread(target=bad_worker, daemon=True)
+        server.start()
+        backend = RemoteBackend(addresses=[address])
+        try:
+            assert backend.ping() == [False]
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            listener.close()
+            server.join(timeout=5)
+
+    def test_done_goes_true_when_the_dispatch_fails_for_good(self):
+        # A dispatch that lost every worker is *done with failure*
+        # (like a failed future), so pollers terminate.
+        backend = RemoteBackend(cluster=LocalCluster(1))
+        try:
+            assert backend.map(abs, [-2]) == [2]
+            for proc in backend._cluster._procs:
+                proc.kill()
+            for proc in backend._cluster._procs:
+                proc.wait()
+            pending = backend.submit_map(abs, [-1, -2, -3])
+            deadline = time.time() + 10.0
+            while not pending.done():
+                assert time.time() < deadline, \
+                    "failed dispatch never reported done()"
+                time.sleep(0.02)
+            with pytest.raises(RemoteExecutionError):
+                pending.result()
+        finally:
+            backend.close()
+
+    def test_unimportable_fn_is_a_task_error_not_dead_workers(self):
+        # This module is not on the workers' sys.path (no
+        # extra_sys_paths), so the worker cannot unpickle the shipped
+        # function -- that is the *task's* failure, answered over the
+        # still-synchronized connection; the workers must stay alive.
+        backend = RemoteBackend(cluster=LocalCluster(2))
+        try:
+            with pytest.raises(RemoteExecutionError,
+                               match="unpickle a task frame"):
+                backend.map(_module_local_fn, [1, 2, 3])
+            assert not any(link.dead for link in backend._links)
+            assert backend.map(abs, [-3]) == [3]
+        finally:
+            backend.close()
+
+    def test_unreachable_address_is_a_remote_error(self):
+        # A connection refused on first use is a dead worker; with no
+        # survivors the dispatch fails loudly.
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        backend = RemoteBackend(addresses=[("127.0.0.1", free_port)])
+        with pytest.raises(RemoteExecutionError):
+            backend.map(abs, [-1])
+        backend.close()

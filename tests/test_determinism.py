@@ -24,6 +24,7 @@ import pytest
 from repro.core.multichannel import SystemTrng
 from repro.core.parallel import (ProcessPoolBackend, SerialBackend,
                                  ThreadPoolBackend)
+from repro.core.remote import LocalCluster, RemoteBackend
 from repro.core.trng import QuacTrng
 from repro.dram.geometry import DramGeometry
 from repro.dram.module_factory import (build_module,
@@ -54,9 +55,29 @@ SYSTEM_SECOND_DRAW_PREFIX = \
     "1011000011100010110001010011001110010111101110011010001001100011"
 
 #: Backends the goldens are replayed on (bit-identical by contract).
-BACKENDS = [SerialBackend, lambda: ThreadPoolBackend(2),
-            lambda: ProcessPoolBackend(2)]
-BACKEND_IDS = ["serial", "thread", "process"]
+#: The remote entries -- one-host and three-host localhost clusters --
+#: pin the sharded multi-host contract: the merged stream must equal
+#: the serial reference whatever the host count.
+BACKEND_IDS = ["serial", "thread", "process", "remote1", "remote3"]
+
+
+@pytest.fixture(scope="module", params=BACKEND_IDS)
+def golden_backend(request):
+    """One shared backend per id (remote clusters spawn once, not per
+    test) -- safe to share because every test builds fresh
+    generators."""
+    if request.param == "serial":
+        yield SerialBackend()
+        return
+    if request.param == "thread":
+        backend = ThreadPoolBackend(2)
+    elif request.param == "process":
+        backend = ProcessPoolBackend(2)
+    else:
+        backend = RemoteBackend(
+            cluster=LocalCluster(int(request.param[-1])))
+    with backend:
+        yield backend
 
 
 def _geometry():
@@ -102,19 +123,15 @@ def system_streams(backend, async_harvest=False):
 
 
 @pytest.mark.parametrize("async_harvest", HARVEST_MODES, ids=HARVEST_IDS)
-@pytest.mark.parametrize("make_backend", BACKENDS, ids=BACKEND_IDS)
-def test_quac_golden_stream(make_backend, async_harvest):
-    with make_backend() as backend:
-        stream = quac_stream(backend, async_harvest)
+def test_quac_golden_stream(golden_backend, async_harvest):
+    stream = quac_stream(golden_backend, async_harvest)
     assert _prefix(stream) == QUAC_PREFIX
     assert _digest(stream) == QUAC_SHA256
 
 
 @pytest.mark.parametrize("async_harvest", HARVEST_MODES, ids=HARVEST_IDS)
-@pytest.mark.parametrize("make_backend", BACKENDS, ids=BACKEND_IDS)
-def test_system_golden_streams(make_backend, async_harvest):
-    with make_backend() as backend:
-        first, second = system_streams(backend, async_harvest)
+def test_system_golden_streams(golden_backend, async_harvest):
+    first, second = system_streams(golden_backend, async_harvest)
     assert _digest(first) == SYSTEM_SHA256
     assert _prefix(second) == SYSTEM_SECOND_DRAW_PREFIX
     assert _digest(second) == SYSTEM_SECOND_DRAW_SHA256
