@@ -11,8 +11,10 @@
   determinism contract;
 * :mod:`repro.core.remote` -- the sharded multi-host backend: bank
   tasks fan out to worker hosts over a length-prefixed pickle socket
-  protocol (``RemoteBackend`` / ``LocalCluster``), merged streams
-  bit-identical to the serial reference at any host count;
+  protocol (``RemoteBackend`` / ``LocalCluster``), optionally as
+  whole round shards (one round trip per host, negotiated per link),
+  merged streams bit-identical to the serial reference at any host
+  count;
 * :mod:`repro.core.harvest` -- the asynchronous double-buffered harvest
   engine: refill rounds execute on the backend while the consumer
   drains the pool, workers ship packed byte pools, and the output stays

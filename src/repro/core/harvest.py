@@ -11,9 +11,11 @@ module overlaps those stages:
   order, exactly as PR 2's determinism contract requires -- so nothing
   about *when* a round executes can change *what* it produces.
 * **Execution is in flight.**  Planned rounds are submitted through
-  :meth:`~repro.core.parallel.ExecutionBackend.submit_map` and gathered
-  when their results land, so the backend's workers fill the next round
-  while the consumer drains the previous one.
+  :meth:`~repro.core.parallel.ExecutionBackend.submit_round` (which
+  decomposes into ``submit_map`` on in-process backends and ships
+  whole round shards per host on the remote round protocol) and
+  gathered when their results land, so the backend's workers fill the
+  next round while the consumer drains the previous one.
 * **Buffers are double.**  Gathered bits land in a *back*
   :class:`~repro.bitops.BitBuffer`; the consumer drains the *front*
   buffer (the generator's serving pool); when the front drains, the
@@ -321,8 +323,12 @@ class AsyncHarvestEngine:
                and len(self._in_flight) < self.max_in_flight):
             round_ = self.planner.plan_round(needed_bits - committed,
                                              pack_output=self.pack_results)
-            round_.pending = self.backend.submit_map(run_bank_task,
-                                                     round_.tasks)
+            # Rounds submit as a unit: backends that ship whole round
+            # shards per host (ExecutionBackend.ships_whole_rounds)
+            # collapse the per-task round trips; everywhere else
+            # submit_round decomposes into submit_map unchanged.
+            round_.pending = self.backend.submit_round(run_bank_task,
+                                                       round_.tasks)
             self._in_flight.append(round_)
             self.rounds_planned += 1
             committed += round_.yield_bits

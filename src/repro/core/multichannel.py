@@ -295,7 +295,10 @@ class SystemTrng:
         while len(self._pool) < n_bits:
             round_ = self.plan_round(n_bits - len(self._pool),
                                      pack_output=pack)
-            results = self.backend.map(run_bank_task, round_.tasks)
+            # run_round lets a backend that ships whole rounds take
+            # the multi-channel round as one request per host.
+            results = self.backend.run_round(run_bank_task,
+                                             round_.tasks)
             failure = self.gather_round(round_, results, self._pool)
             if failure is not None:
                 raise failure

@@ -39,7 +39,7 @@ by spec string (``"process:4"``), or globally through the
 ``REPRO_EXECUTION_BACKEND`` environment variable -- the latter is how
 CI runs the whole tier-1 suite under a process pool.
 
-Two calling conventions share the determinism contract:
+Three calling conventions share the determinism contract:
 
 * :meth:`ExecutionBackend.map` blocks until every task's result is
   available (the original PR-2 API);
@@ -47,7 +47,17 @@ Two calling conventions share the determinism contract:
   immediately, so the caller can keep planning, draining a bit pool, or
   submitting further rounds while the tasks execute.  This is the
   primitive the asynchronous harvest engine
-  (:mod:`repro.core.harvest`) double-buffers on.
+  (:mod:`repro.core.harvest`) double-buffers on;
+* :meth:`ExecutionBackend.submit_round` submits one planned refill
+  round as a unit.  In-process backends decompose it into
+  ``submit_map`` (the generic fallback); the remote backend ships each
+  host its whole contiguous shard in a single request
+  (:attr:`ExecutionBackend.ships_whole_rounds`), cutting socket round
+  trips per refill from one per bank to one per host.  The async
+  harvest engine always submits through it; the synchronous refill
+  paths prefer it when the backend advertises ``ships_whole_rounds``
+  and otherwise keep the blocking :meth:`ExecutionBackend.map` (whose
+  pooled implementations run single-task rounds inline).
 
 Because every result is a pure function of its task, *when* a result is
 gathered can never change *what* it contains -- ``submit_map(fn,
@@ -337,6 +347,13 @@ class ExecutionBackend(abc.ABC):
     #: pays -- packing shrinks a pickle 8x, but threads share memory.
     ships_pickled_results: bool = False
 
+    #: True when :meth:`submit_round` ships each worker its whole
+    #: contiguous shard in one request (the remote backend's round
+    #: protocol) instead of decomposing into per-task submissions.
+    #: Purely an advertisement -- harvest paths call ``submit_round``
+    #: unconditionally and the generic fallback keeps the contract.
+    ships_whole_rounds: bool = False
+
     @abc.abstractmethod
     def map(self, fn: Callable, tasks: Sequence) -> List:
         """Apply ``fn`` to every task; results in submission order."""
@@ -357,6 +374,38 @@ class ExecutionBackend(abc.ABC):
             return CompletedResult(self.map(fn, tasks))
         except Exception as exc:
             return FailedResult(exc)
+
+    def submit_round(self, fn: Callable, tasks: Sequence) -> PendingResult:
+        """Start one planned *round* of tasks; return without waiting.
+
+        Semantically identical to :meth:`submit_map` -- submission
+        order, exception-at-join, bit-identical results -- but the
+        round is submitted as a unit, so a backend that advertises
+        :attr:`ships_whole_rounds` may ship each worker its entire
+        contiguous shard in one request instead of one request per
+        task (the remote backend's round protocol, which turns a
+        16-bank refill on a 3-host cluster from 16 socket round trips
+        into 3).  This base implementation is the generic fallback: it
+        decomposes into :meth:`submit_map`, so in-process backends
+        need no changes.  The conformance suite
+        (``tests/core/test_backend_conformance.py``) exercises both
+        paths on every registered backend.
+        """
+        return self.submit_map(fn, tasks)
+
+    def run_round(self, fn: Callable, tasks: Sequence) -> List:
+        """Execute one planned round, blocking until its results.
+
+        The synchronous refill paths' capability switch, in one
+        place: a backend that advertises :attr:`ships_whole_rounds`
+        submits the round as a unit (one request per host) and joins
+        it; everywhere else the blocking :meth:`map` keeps its inline
+        fast paths (pooled backends run single-task rounds in the
+        caller).  Bit-identical results either way.
+        """
+        if self.ships_whole_rounds:
+            return self.submit_round(fn, tasks).result()
+        return self.map(fn, tasks)
 
     def close(self) -> None:
         """Release pooled workers (no-op for poolless backends).

@@ -22,7 +22,11 @@ by :func:`shard_map`: a contiguous, iteration-weighted split computed
 *serially in the client, in task order* -- so a round planned
 channel-major keeps each channel's banks on one host where balance
 allows, and the partition is a pure function of the round, never of
-which worker answered first.  Because every
+which worker answered first.  The backend memoizes the plan keyed on
+the task signature (weights and live-worker count), so steady-state
+refills -- identical bank lists round after round -- skip the
+recompute and invalidate automatically when a bank's iteration
+weight changes.  Because every
 :class:`~repro.core.parallel.BankTask` is a pure function of itself
 and results are merged in submission order, the assembled stream is
 **bit-identical to the serial reference regardless of host count,
@@ -31,10 +35,25 @@ the thread and process pools honor, held to by
 ``tests/core/test_backend_conformance.py`` and the golden streams in
 ``tests/test_determinism.py``.
 
+**Round execution.**  With ``round_execution=True`` (spec suffix
+``+rounds``) each shard ships *whole*: one
+:class:`~repro.core.remote.wire.RoundShard` message per host carries
+the host's contiguous slice of the round, the worker loops the slice
+locally, and one ``round_result`` frame comes back -- so a 16-bank
+round on a 3-host cluster costs 3 socket round trips instead of 16.
+The protocol is negotiated per link through the ``hello`` handshake;
+a per-task-only (version 1) worker transparently falls back to task
+shipping, and either protocol produces the same bits (the
+:meth:`~repro.core.parallel.ExecutionBackend.submit_round` contract,
+pinned by ``tests/core/test_remote_rounds.py`` and the round-protocol
+golden replays in ``tests/test_determinism.py``).
+
 **Failure model.**  A worker whose connection dies is marked dead and
 its unfinished tasks are requeued onto surviving workers (the tasks
 are stateless, so re-execution reproduces the exact result the dead
-worker would have shipped).  Only when *every* worker has failed does
+worker would have shipped); under round execution the requeue
+re-shards the *remaining* banks into fresh round shards across the
+survivors.  Only when *every* worker has failed does
 :class:`~repro.errors.RemoteExecutionError` surface.  A task function
 that raises is not a dead worker: its exception ships back and
 re-raises in the client.
@@ -42,7 +61,9 @@ re-raises in the client.
 Select the backend like any other: ``backend=RemoteBackend(...)``, or
 ``REPRO_EXECUTION_BACKEND=remote:2`` (a 2-worker
 :class:`LocalCluster`) / ``remote:host1:9123,host2:9123`` (explicit
-hosts) -- see :func:`repro.core.parallel.resolve_backend`.
+hosts); append ``+rounds`` to either form (``remote:2+rounds``) for
+round-shard execution -- see
+:func:`repro.core.parallel.resolve_backend`.
 
 .. warning::
    **Trusted networks only.**  The protocol is pickle over plain TCP:
@@ -142,12 +163,32 @@ def task_weights(tasks: Sequence) -> List[int]:
 # One worker host
 # ----------------------------------------------------------------------
 
+def _reply_kind(reply) -> Optional[str]:
+    """The kind marker of a well-formed message tuple, else ``None``.
+
+    Every reply a link reads gets its shape checked through this
+    before any element is indexed: a peer shipping a non-tuple, an
+    empty tuple, or a bare kind marker has violated the protocol, and
+    that must read as a dead link -- never as an ``IndexError`` deep
+    in a dispatch.
+    """
+    if isinstance(reply, tuple) and reply:
+        return reply[0]
+    return None
+
 class _WorkerLink:
     """A persistent, lock-serialized connection to one worker host."""
 
     def __init__(self, address: Tuple[str, int]) -> None:
         self.address = address
         self.dead = False
+        #: Request/response exchanges completed or attempted on this
+        #: link (tasks, rounds, pings, handshakes) -- the round-trip
+        #: accounting the protocol benchmark reads.
+        self.requests = 0
+        #: Negotiated wire protocol version; ``None`` until the first
+        #: ``hello`` handshake on the current connection.
+        self.protocol: Optional[int] = None
         self._sock: Optional[socket.socket] = None
         self._lock = threading.Lock()
 
@@ -174,6 +215,7 @@ class _WorkerLink:
             try:
                 if self._sock is None:
                     self._sock = self._connect()
+                self.requests += 1
                 wire.send_frame(self._sock, (wire.TASK, fn, task))
                 reply = wire.recv_frame(self._sock)
             except (OSError, RemoteExecutionError) as exc:
@@ -187,15 +229,99 @@ class _WorkerLink:
                 self._mark_dead_locked()
                 raise wire.ConnectionClosed(
                     f"worker {self.address} failed: {exc}")
-        kind = reply[0]
-        if kind == wire.RESULT:
+        kind = _reply_kind(reply)
+        if kind == wire.RESULT and len(reply) > 1:
             return reply[1]
-        if kind == wire.ERROR:
+        if kind == wire.ERROR and len(reply) > 1:
             raise _TaskFailed(reply[1])
         with self._lock:
             self._mark_dead_locked()
         raise wire.ConnectionClosed(
-            f"worker {self.address} sent unexpected reply kind {kind!r}")
+            f"worker {self.address} sent unexpected reply {reply!r}")
+
+    def _handshake_locked(self) -> None:
+        """Learn the worker's protocol version (caller holds the lock).
+
+        Sends one ``hello`` and caches the negotiated version for the
+        connection's lifetime.  A version-2+ worker answers with its
+        version; a version-1 worker answers with an ``error``
+        ("unknown message kind") over the still-synchronized
+        connection, which *is* its version statement -- so negotiation
+        needs no worker-side support to detect old workers.  Anything
+        else is a protocol violation and raises (the caller's
+        transport clause marks the link dead).
+        """
+        self.requests += 1
+        wire.send_frame(self._sock, (wire.HELLO, wire.PROTOCOL_VERSION))
+        reply = wire.recv_frame(self._sock)
+        kind = _reply_kind(reply)
+        if kind == wire.HELLO:
+            try:
+                version = int(reply[1])
+            except (IndexError, TypeError, ValueError):
+                raise RemoteExecutionError(
+                    f"worker {self.address} answered the version "
+                    f"handshake with a malformed hello {reply!r}")
+            self.protocol = max(1, min(wire.PROTOCOL_VERSION, version))
+        elif kind == wire.ERROR:
+            self.protocol = 1
+        else:
+            raise RemoteExecutionError(
+                f"worker {self.address} answered the version handshake "
+                f"with reply kind {kind!r}")
+
+    def run_round(self, fn: Callable,
+                  shard: wire.RoundShard) -> List[Tuple[str, object]]:
+        """One whole-shard round trip; returns the per-task slot list.
+
+        Ships the shard in a single ``round`` message and reads back
+        one ``round_result`` frame of ``(SLOT_OK, result)`` /
+        ``(SLOT_ERROR, exception)`` slots in task order.  Raises
+        :class:`_RoundsUnsupported` when the negotiated protocol
+        predates round execution -- the caller then falls back to
+        per-task shipping on the same (healthy) connection.  Transport
+        or protocol failures (including a malformed slot list) mark
+        the link dead, exactly as in :meth:`run_task`; a top-level
+        ``error`` reply means the worker rejected the shard itself
+        (e.g. it could not unpickle the frame) and raises
+        :class:`_TaskFailed` against every task in the shard.
+        """
+        with self._lock:
+            if self.dead:
+                raise wire.ConnectionClosed(
+                    f"worker {self.address} is marked dead")
+            try:
+                if self._sock is None:
+                    self._sock = self._connect()
+                if self.protocol is None:
+                    self._handshake_locked()
+                if self.protocol < wire.ROUND_PROTOCOL_VERSION:
+                    raise _RoundsUnsupported(self.address)
+                self.requests += 1
+                wire.send_frame(self._sock, (wire.ROUND, fn, shard))
+                reply = wire.recv_frame(self._sock)
+            except _RoundsUnsupported:
+                raise
+            except (OSError, RemoteExecutionError) as exc:
+                self._mark_dead_locked()
+                raise wire.ConnectionClosed(
+                    f"worker {self.address} failed: {exc}")
+        kind = _reply_kind(reply)
+        if kind == wire.ROUND_RESULT:
+            slots = reply[1] if len(reply) > 1 else None
+            if not wire.valid_round_slots(slots, len(shard.tasks)):
+                with self._lock:
+                    self._mark_dead_locked()
+                raise wire.ConnectionClosed(
+                    f"worker {self.address} returned a malformed "
+                    f"round result for a {len(shard.tasks)}-task shard")
+            return list(slots)
+        if kind == wire.ERROR and len(reply) > 1:
+            raise _TaskFailed(reply[1])
+        with self._lock:
+            self._mark_dead_locked()
+        raise wire.ConnectionClosed(
+            f"worker {self.address} sent unexpected reply {reply!r}")
 
     def ping(self) -> bool:
         """True when the worker answers a ping (marks dead when not)."""
@@ -205,8 +331,15 @@ class _WorkerLink:
             try:
                 if self._sock is None:
                     self._sock = self._connect()
+                self.requests += 1
                 wire.send_frame(self._sock, (wire.PING,))
-                return wire.recv_frame(self._sock)[0] == wire.PONG
+                if _reply_kind(wire.recv_frame(self._sock)) == wire.PONG:
+                    return True
+                # Anything but a pong means the stream is
+                # desynchronized: dead link, like every other
+                # unexpected reply.
+                self._mark_dead_locked()
+                return False
             except (OSError, RemoteExecutionError):
                 # Same taxonomy as run_task: transport *or* protocol
                 # failure means a desynchronized link -- dead, not an
@@ -216,6 +349,9 @@ class _WorkerLink:
 
     def _mark_dead_locked(self) -> None:
         self.dead = True
+        # A future reconnection may reach a different (respawned)
+        # worker build; renegotiate the protocol then.
+        self.protocol = None
         if self._sock is not None:
             try:
                 self._sock.close()
@@ -224,6 +360,7 @@ class _WorkerLink:
 
     def close(self) -> None:
         with self._lock:
+            self.protocol = None
             if self._sock is not None:
                 try:
                     self._sock.close()
@@ -244,6 +381,13 @@ class _TaskFailed(Exception):
         self.exception = exception
 
 
+class _RoundsUnsupported(Exception):
+    """Internal: the link's negotiated protocol predates round
+    execution; the dispatch falls back to per-task shipping.  Not a
+    :class:`~repro.errors.RemoteExecutionError` on purpose -- it must
+    never be mistaken for (or swallowed as) a transport failure."""
+
+
 # ----------------------------------------------------------------------
 # An in-flight submit_map
 # ----------------------------------------------------------------------
@@ -253,22 +397,37 @@ _RAISE = "raise"
 
 
 class _RemoteDispatch(PendingResult):
-    """One ``submit_map`` in flight across the worker links.
+    """One ``submit_map`` / ``submit_round`` in flight across the links.
 
     Primary assignment follows the shard map (one sender thread per
     shard, so workers execute concurrently); a shard whose worker dies
     parks its unfinished indices, and :meth:`result` requeues them onto
     surviving workers.  Results land slot-per-index, so merge order is
     submission order whatever the arrival order was.
+
+    With ``use_rounds`` each shard ships as one
+    :class:`~repro.core.remote.wire.RoundShard` message (one round
+    trip per worker instead of one per task); a link whose negotiated
+    protocol predates rounds falls back to per-task shipping on the
+    same connection, and the requeue path re-shards a dead worker's
+    remaining tasks into fresh round shards across the survivors.
+    Either protocol fills the same slots with the same values.
     """
 
     def __init__(self, fn: Callable, tasks: List,
                  links: List[_WorkerLink],
-                 on_finish: Callable[["_RemoteDispatch"], None]) -> None:
+                 on_finish: Callable[["_RemoteDispatch"], None],
+                 use_rounds: bool = False,
+                 shard_plan: Optional[Callable[[Sequence[int], int],
+                                               List[List[int]]]] = None
+                 ) -> None:
         self._fn = fn
         self._tasks = tasks
         self._links = links
         self._on_finish = on_finish
+        self._use_rounds = use_rounds
+        self._shard_plan = shard_plan if shard_plan is not None \
+            else shard_map
         self._slots: List[Optional[Tuple[str, object]]] = \
             [None] * len(tasks)
         self._leftover: List[int] = []
@@ -289,7 +448,7 @@ class _RemoteDispatch(PendingResult):
             for link in self._links:
                 link.revive()
             live = list(self._links)
-        shards = shard_map(task_weights(self._tasks), len(live))
+        shards = self._shard_plan(task_weights(self._tasks), len(live))
         self._unsettled = len([s for s in shards if s])
         for link, indices in zip(live, shards):
             if not indices:
@@ -298,6 +457,56 @@ class _RemoteDispatch(PendingResult):
                                       args=(link, indices), daemon=True)
             thread.start()
             self._threads.append(thread)
+
+    def _execute(self, link: _WorkerLink, indices: List[int]) -> None:
+        """Run tasks on one link -- as one round shard where the
+        negotiated protocol allows, task by task otherwise."""
+        if self._use_rounds:
+            try:
+                self._run_round(link, indices)
+                return
+            except _RoundsUnsupported:
+                pass  # version-1 worker: per-task on the same link
+        self._run_indices(link, indices)
+
+    def _run_round(self, link: _WorkerLink, indices: List[int]) -> None:
+        """Ship one whole shard; park every index if the link dies.
+
+        The reply is all-or-nothing (one ``round_result`` frame), so a
+        transport death mid-shard parks the *entire* slice for the
+        requeue pass -- re-execution on a survivor reproduces the
+        exact results the dead worker would have shipped.
+        """
+        shard = wire.RoundShard(
+            start=indices[0],
+            tasks=tuple(self._tasks[index] for index in indices))
+        try:
+            slots = link.run_round(self._fn, shard)
+        except _TaskFailed as failed:
+            # The worker rejected the shard itself (e.g. could not
+            # unpickle the frame): that is every shipped task's
+            # failure, exactly as per-task shipping would record it.
+            for index in indices:
+                self._slots[index] = (_RAISE, failed.exception)
+            return
+        except _RoundsUnsupported:
+            raise
+        except (RemoteExecutionError, OSError) as exc:
+            with self._lock:
+                self._leftover.extend(
+                    index for index in indices
+                    if self._slots[index] is None)
+                self._transport_error = exc
+            return
+        except Exception as exc:
+            # Not a transport failure: e.g. the fn/shard would not
+            # pickle.  The tasks' own bug, recorded against each.
+            for index in indices:
+                self._slots[index] = (_RAISE, exc)
+            return
+        for index, (status, payload) in zip(indices, slots):
+            self._slots[index] = (_OK, payload) if status == wire.SLOT_OK \
+                else (_RAISE, payload)
 
     def _run_indices(self, link: _WorkerLink,
                      indices: List[int]) -> None:
@@ -321,7 +530,7 @@ class _RemoteDispatch(PendingResult):
 
     def _run_shard(self, link: _WorkerLink, indices: List[int]) -> None:
         try:
-            self._run_indices(link, indices)
+            self._execute(link, indices)
         finally:
             # The last shard thread to finish settles any leftovers,
             # so a dispatch completes (or fails) without the caller
@@ -341,10 +550,11 @@ class _RemoteDispatch(PendingResult):
 
         Each pass re-shards the parked indices over every live link
         and runs the shards concurrently (the recovery tail keeps all
-        survivors busy, not one); a link dying mid-requeue parks its
-        remainder again and the next pass re-shards over the shrunken
-        survivor set, so the loop terminates -- with every slot
-        filled, or with no links left and a
+        survivors busy, not one); under round execution each requeued
+        slice ships as a fresh round shard.  A link dying mid-requeue
+        parks its remainder again and the next pass re-shards over the
+        shrunken survivor set, so the loop terminates -- with every
+        slot filled, or with no links left and a
         :class:`~repro.errors.RemoteExecutionError`.
         """
         while True:
@@ -362,7 +572,7 @@ class _RemoteDispatch(PendingResult):
                     f"all {len(self._links)} remote workers failed "
                     f"with {len(pending)} task(s) unfinished") \
                     from self._transport_error
-            shards = shard_map(
+            shards = self._shard_plan(
                 task_weights([self._tasks[i] for i in pending]),
                 len(live))
             threads = []
@@ -370,7 +580,7 @@ class _RemoteDispatch(PendingResult):
                 if not shard:
                     continue
                 thread = threading.Thread(
-                    target=self._run_indices,
+                    target=self._execute,
                     args=(link, [pending[j] for j in shard]),
                     daemon=True)
                 thread.start()
@@ -429,20 +639,26 @@ class LocalCluster:
     worker is ``python -m repro.core.remote.worker --port 0
     --announce`` with ``src`` prepended to its ``PYTHONPATH`` (plus any
     ``extra_sys_paths`` -- e.g. a test directory whose module-level
-    functions tasks reference).  :meth:`start` is idempotent and
-    re-entrant after :meth:`stop`, so a backend closed mid-session
-    transparently respawns its workers on next use.
+    functions tasks reference).  ``worker_args`` appends extra CLI
+    flags to every spawned worker -- e.g. ``["--protocol-version",
+    "1"]`` spawns per-task-only workers, which is how the
+    version-negotiation tests build mixed-protocol clusters.
+    :meth:`start` is idempotent and re-entrant after :meth:`stop`, so
+    a backend closed mid-session transparently respawns its workers on
+    next use.
     """
 
     def __init__(self, n_workers: int,
                  extra_sys_paths: Sequence[str] = (),
-                 spawn_timeout_s: float = SPAWN_TIMEOUT_S) -> None:
+                 spawn_timeout_s: float = SPAWN_TIMEOUT_S,
+                 worker_args: Sequence[str] = ()) -> None:
         if n_workers < 1:
             raise ConfigurationError(
                 f"worker count must be positive, got {n_workers}")
         self.n_workers = n_workers
         self.extra_sys_paths = list(extra_sys_paths)
         self.spawn_timeout_s = spawn_timeout_s
+        self.worker_args = list(worker_args)
         self._procs: List[subprocess.Popen] = []
         self._addresses: List[Tuple[str, int]] = []
         self._stderr_tails: List[deque] = []
@@ -483,7 +699,7 @@ class LocalCluster:
                         [sys.executable, "-u", "-m",
                          "repro.core.remote.worker",
                          "--host", "127.0.0.1", "--port", "0",
-                         "--announce"],
+                         "--announce", *self.worker_args],
                         stdout=subprocess.PIPE, stderr=subprocess.PIPE,
                         env=env)
                     self._procs.append(proc)
@@ -597,6 +813,14 @@ class RemoteBackend(ExecutionBackend):
         use, stopped by :meth:`close`, respawned transparently when
         the backend is used again after a close.  Exactly one of
         ``addresses`` / ``cluster`` must be given.
+    round_execution:
+        Ship :meth:`submit_round` rounds as whole
+        :class:`~repro.core.remote.wire.RoundShard` messages -- one
+        socket round trip per *host* instead of one per task.  The
+        spec suffix ``+rounds`` (``"remote:2+rounds"``) sets it; a
+        worker whose negotiated protocol predates rounds transparently
+        falls back to per-task shipping.  Either protocol ships the
+        same bits; only the round-trip count differs.
 
     The full :class:`~repro.core.parallel.ExecutionBackend` contract
     holds: results in submission order, ``submit_map(fn,
@@ -611,7 +835,8 @@ class RemoteBackend(ExecutionBackend):
 
     def __init__(self, addresses: Optional[Sequence[Tuple[str, int]]]
                  = None,
-                 cluster: Optional[LocalCluster] = None) -> None:
+                 cluster: Optional[LocalCluster] = None,
+                 round_execution: bool = False) -> None:
         if (addresses is None) == (cluster is None):
             raise ConfigurationError(
                 "give RemoteBackend exactly one of addresses= or "
@@ -621,9 +846,19 @@ class RemoteBackend(ExecutionBackend):
         self._addresses = [tuple(a) for a in addresses] \
             if addresses is not None else None
         self._cluster = cluster
+        self.round_execution = bool(round_execution)
         self._links: Optional[List[_WorkerLink]] = None
         self._lock = threading.Lock()
         self._active: set = set()
+        # Single-slot shard-plan memo, keyed on the task signature
+        # (weights + live-worker count): steady-state refills reuse
+        # the plan; any weight change misses the key and recomputes.
+        self._shard_cache_key: Optional[Tuple] = None
+        self._shard_cache_plan: Optional[Tuple[Tuple[int, ...], ...]] = None
+        #: Shard plans actually computed / served from the memo --
+        #: the cache's observable behaviour, for the regression tests.
+        self.shard_maps_computed = 0
+        self.shard_map_cache_hits = 0
 
     # ------------------------------------------------------------------
 
@@ -649,21 +884,80 @@ class RemoteBackend(ExecutionBackend):
         """Per-worker liveness (True where a ping round-trips)."""
         return [link.ping() for link in self._ensure_links()]
 
+    def request_count(self) -> int:
+        """Socket round trips attempted across the current links.
+
+        Counts every request/response exchange (tasks, round shards,
+        pings, version handshakes) since the links were built; resets
+        when :meth:`close` drops them.  The round-trips-per-refill
+        accounting ``benchmarks/test_remote_scaling.py`` compares the
+        two protocols with.
+        """
+        with self._lock:
+            links = self._links or []
+        return sum(link.requests for link in links)
+
+    @property
+    def ships_whole_rounds(self) -> bool:
+        """True when :meth:`submit_round` uses the round protocol."""
+        return self.round_execution
+
     # ------------------------------------------------------------------
 
     def map(self, fn: Callable, tasks: Sequence) -> List:
         return self.submit_map(fn, tasks).result()
 
     def submit_map(self, fn: Callable, tasks: Sequence) -> PendingResult:
+        return self._dispatch(fn, tasks, use_rounds=False)
+
+    def submit_round(self, fn: Callable, tasks: Sequence) -> PendingResult:
+        """Submit one planned round, shipping whole shards per host.
+
+        The round-protocol fast path of
+        :meth:`~repro.core.parallel.ExecutionBackend.submit_round`:
+        with :attr:`round_execution` each worker receives its entire
+        contiguous slice in one ``round`` message (version-1 workers
+        fall back to per-task shipping per link); without it the
+        dispatch is exactly :meth:`submit_map`.  Same results either
+        way, in submission order.
+        """
+        return self._dispatch(fn, tasks, use_rounds=self.round_execution)
+
+    def _dispatch(self, fn: Callable, tasks: Sequence,
+                  use_rounds: bool) -> PendingResult:
         tasks = list(tasks)
         if not tasks:
             return CompletedResult([])
         links = self._ensure_links()
-        dispatch = _RemoteDispatch(fn, tasks, links, self._unregister)
+        dispatch = _RemoteDispatch(fn, tasks, links, self._unregister,
+                                   use_rounds=use_rounds,
+                                   shard_plan=self._shard_plan)
         with self._lock:
             self._active.add(dispatch)
         dispatch.start()
         return dispatch
+
+    def _shard_plan(self, weights: Sequence[int],
+                    n_shards: int) -> List[List[int]]:
+        """Memoized :func:`shard_map` keyed on the task signature.
+
+        Steady-state generation submits the same bank list round after
+        round; the single-slot memo skips the recompute there and
+        invalidates by key miss the moment a bank's iteration weight
+        (or the live-worker count) changes -- including requeue
+        passes, whose shrunken task lists are their own signatures.
+        """
+        key = (tuple(weights), n_shards)
+        with self._lock:
+            if key == self._shard_cache_key:
+                self.shard_map_cache_hits += 1
+                return [list(shard) for shard in self._shard_cache_plan]
+        plan = shard_map(list(weights), n_shards)
+        with self._lock:
+            self._shard_cache_key = key
+            self._shard_cache_plan = tuple(tuple(s) for s in plan)
+            self.shard_maps_computed += 1
+        return plan
 
     def _unregister(self, dispatch: _RemoteDispatch) -> None:
         with self._lock:
@@ -688,10 +982,15 @@ class RemoteBackend(ExecutionBackend):
             self._cluster.stop()
 
     def __repr__(self) -> str:
+        protocol = ", rounds" if self.round_execution else ""
         if self._cluster is not None:
-            return f"RemoteBackend(cluster={self._cluster!r})"
+            return f"RemoteBackend(cluster={self._cluster!r}{protocol})"
         hosts = ",".join(f"{h}:{p}" for h, p in self._addresses)
-        return f"RemoteBackend({hosts})"
+        return f"RemoteBackend({hosts}{protocol})"
+
+
+#: Spec suffix enabling round execution (``"remote:2+rounds"``).
+ROUNDS_SPEC_SUFFIX = "+rounds"
 
 
 def backend_from_spec(rest: str) -> RemoteBackend:
@@ -699,14 +998,23 @@ def backend_from_spec(rest: str) -> RemoteBackend:
 
     ``"2"`` (a bare integer) means a 2-worker :class:`LocalCluster`;
     ``"host:port[,host:port...]"`` means already-running workers.
+    Either form takes the ``+rounds`` suffix to enable round-shard
+    execution (``"2+rounds"``, ``"host:9123+rounds"``) -- which is how
+    ``REPRO_EXECUTION_BACKEND=remote:2+rounds`` runs a whole suite
+    under the round protocol.
     """
     rest = rest.strip()
+    round_execution = rest.endswith(ROUNDS_SPEC_SUFFIX)
+    if round_execution:
+        rest = rest[:-len(ROUNDS_SPEC_SUFFIX)].strip()
     if not rest:
         raise ConfigurationError(
             "the remote backend spec needs workers: 'remote:N' for N "
-            "localhost workers, or 'remote:host:port[,host:port...]'")
+            "localhost workers, or 'remote:host:port[,host:port...]' "
+            "(either with an optional '+rounds' suffix)")
     if rest.isdigit():
-        return RemoteBackend(cluster=LocalCluster(int(rest)))
+        return RemoteBackend(cluster=LocalCluster(int(rest)),
+                             round_execution=round_execution)
     addresses = []
     for part in rest.split(","):
         host, sep, port = part.strip().rpartition(":")
@@ -715,4 +1023,4 @@ def backend_from_spec(rest: str) -> RemoteBackend:
                 f"bad remote worker address {part.strip()!r}; "
                 f"want host:port")
         addresses.append((host, int(port)))
-    return RemoteBackend(addresses)
+    return RemoteBackend(addresses, round_execution=round_execution)

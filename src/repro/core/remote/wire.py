@@ -11,8 +11,23 @@ payload bytes.  Two layers share it:
 * **Messages** (:func:`send_frame` / :func:`recv_frame`) pickle one
   Python object per frame.  Every protocol message is a tuple whose
   first element is one of the :data:`TASK` / :data:`RESULT` /
-  :data:`ERROR` / :data:`PING` / :data:`PONG` / :data:`SHUTDOWN`
-  kind markers.
+  :data:`ERROR` / :data:`PING` / :data:`PONG` / :data:`SHUTDOWN` /
+  :data:`HELLO` / :data:`ROUND` / :data:`ROUND_RESULT` kind markers.
+
+**Protocol versions.**  Version 1 (PR 4) ships one ``task`` message
+per bank task.  Version 2 adds *round-shard execution*: a ``round``
+message carries a :class:`RoundShard` -- one host's contiguous slice
+of a planned harvest round, its bank tasks packed together in a
+single frame -- and the worker answers with one ``round_result``
+frame holding a per-task slot list (:data:`SLOT_OK` results and
+:data:`SLOT_ERROR` exceptions, in task order).  A whole round
+therefore costs one socket round trip per *host* instead of one per
+*bank*.  Clients learn a worker's version through the ``hello``
+handshake (:data:`HELLO` request and reply); a version-1 worker
+answers ``hello`` with an ``error`` message ("unknown message kind"),
+which clients read as version 1 and fall back to per-task shipping --
+so round-capable clients interoperate with old workers with no
+configuration.
 
 The codec never buffers across frames and never splits one: a frame is
 fully written with ``sendall`` and fully read before the next, so a
@@ -33,7 +48,8 @@ from __future__ import annotations
 import pickle
 import socket
 import struct
-from typing import Any
+from dataclasses import dataclass
+from typing import Any, Tuple
 
 from repro.errors import RemoteExecutionError
 
@@ -52,6 +68,54 @@ ERROR = "error"
 PING = "ping"
 PONG = "pong"
 SHUTDOWN = "shutdown"
+HELLO = "hello"
+ROUND = "round"
+ROUND_RESULT = "round_result"
+
+#: The protocol version this build speaks (version 2: round shards).
+PROTOCOL_VERSION = 2
+
+#: First protocol version with ``round`` / ``round_result`` support;
+#: a peer negotiated below this gets per-task shipping.
+ROUND_PROTOCOL_VERSION = 2
+
+#: Per-task outcome markers inside a ``round_result`` slot list.
+SLOT_OK = "ok"
+SLOT_ERROR = "error"
+
+
+@dataclass(frozen=True)
+class RoundShard:
+    """One host's slice of a planned harvest round, shipped whole.
+
+    The body of a ``round`` message: the slice's bank tasks packed
+    together in one frame, so the worker executes them back to back
+    and answers with a single ``round_result`` frame.  ``start`` is
+    the slice's offset in the round's gather order -- diagnostic
+    only; the client merges the reply by its own index bookkeeping,
+    so a requeued (possibly non-contiguous) slice still lands
+    slot-per-index.
+    """
+
+    #: Offset of ``tasks[0]`` in the planned round's task list.
+    start: int
+    #: The slice's tasks, in round order.
+    tasks: Tuple[Any, ...]
+
+
+def valid_round_slots(slots: Any, n_tasks: int) -> bool:
+    """True when ``slots`` is a well-formed ``round_result`` body.
+
+    A valid body is a sequence of exactly ``n_tasks`` 2-tuples, each
+    ``(SLOT_OK, result)`` or ``(SLOT_ERROR, exception)``.  Anything
+    else means the peer desynchronized (or is hostile) and the link
+    must be treated as dead -- the round-protocol analogue of an
+    absurd frame header.
+    """
+    if not isinstance(slots, (list, tuple)) or len(slots) != n_tasks:
+        return False
+    return all(isinstance(slot, tuple) and len(slot) == 2
+               and slot[0] in (SLOT_OK, SLOT_ERROR) for slot in slots)
 
 
 class ConnectionClosed(RemoteExecutionError):

@@ -15,6 +15,20 @@ can be killed and its tasks requeued onto any other worker without
 moving a bit of output.  Each connection is served by its own thread,
 requests within a connection strictly in order.
 
+Two execution protocols share one loop.  The per-task protocol
+(version 1) answers each ``task`` message with one ``result``; the
+round protocol (version 2) answers a ``round`` message -- a
+:class:`~repro.core.remote.wire.RoundShard` carrying a whole slice of
+a planned harvest round -- with a single ``round_result`` frame of
+per-task outcome slots (:func:`run_round_shard`), cutting the
+client's socket round trips from one per bank to one per host.
+Clients discover the version through the ``hello`` handshake;
+``--protocol-version 1`` clamps a worker to the per-task protocol
+(it then answers ``hello`` and ``round`` with "unknown message kind"
+errors, exactly as a pre-round build would), which is how the
+version-negotiation tests and mixed-version clusters exercise the
+fallback path.
+
 Run a host manually::
 
     PYTHONPATH=src python -m repro.core.remote.worker --port 9123
@@ -42,10 +56,10 @@ import argparse
 import pickle
 import socket
 import threading
-from typing import Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.remote import wire
-from repro.errors import RemoteExecutionError
+from repro.errors import ConfigurationError, RemoteExecutionError
 
 #: Line printed (with the bound port) under ``--announce``.
 ANNOUNCE_PREFIX = "QUAC-REMOTE-WORKER"
@@ -70,7 +84,52 @@ def shippable_exception(exc: BaseException) -> BaseException:
             f"task raised an unpicklable {type(exc).__name__}: {exc!r}")
 
 
-def _serve_connection(conn: socket.socket, stop: threading.Event) -> None:
+def _shippable_slots(slots: List[Tuple[str, object]]
+                     ) -> List[Tuple[str, object]]:
+    """Degrade a slot list whose reply would not pickle, per slot.
+
+    Only consulted when sending a ``round_result`` frame failed: the
+    offending result(s) become shipped errors while every other
+    slot's result still travels -- matching per-task shipping, where
+    one unshippable result fails one task, never its shard-mates.
+    """
+    safe: List[Tuple[str, object]] = []
+    for status, payload in slots:
+        if status == wire.SLOT_OK:
+            try:
+                pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            except Exception as exc:
+                status = wire.SLOT_ERROR
+                payload = RemoteExecutionError(
+                    f"task result could not be shipped: {exc}")
+        safe.append((status, payload))
+    return safe
+
+
+def run_round_shard(fn: Callable,
+                    shard: "wire.RoundShard") -> List[Tuple[str, object]]:
+    """Execute one round shard locally; return its per-task slots.
+
+    The worker half of the round protocol: every task in the shard
+    runs back to back (in shard order, which is round order), and the
+    outcomes ship back in one ``round_result`` frame -- a list of
+    ``(SLOT_OK, result)`` / ``(SLOT_ERROR, exception)`` slots aligned
+    with the shard's tasks.  One task raising never aborts the shard:
+    its slot carries the (shippable) exception and the later tasks
+    still execute, exactly as they would under per-task shipping.
+    """
+    slots: List[Tuple[str, object]] = []
+    for task in shard.tasks:
+        try:
+            slots.append((wire.SLOT_OK, fn(task)))
+        except BaseException as exc:
+            slots.append((wire.SLOT_ERROR, shippable_exception(exc)))
+    return slots
+
+
+def _serve_connection(conn: socket.socket, stop: threading.Event,
+                      protocol_version: int = wire.PROTOCOL_VERSION
+                      ) -> None:
     """Answer one client's messages until it disconnects."""
     try:
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
@@ -104,6 +163,13 @@ def _serve_connection(conn: socket.socket, stop: threading.Event) -> None:
                     reply = (wire.RESULT, fn(task))
                 except BaseException as exc:
                     reply = (wire.ERROR, shippable_exception(exc))
+            elif kind == wire.ROUND and \
+                    protocol_version >= wire.ROUND_PROTOCOL_VERSION:
+                _, fn, shard = message
+                reply = (wire.ROUND_RESULT, run_round_shard(fn, shard))
+            elif kind == wire.HELLO and \
+                    protocol_version >= wire.ROUND_PROTOCOL_VERSION:
+                reply = (wire.HELLO, protocol_version)
             elif kind == wire.PING:
                 reply = (wire.PONG,)
             elif kind == wire.SHUTDOWN:
@@ -121,23 +187,41 @@ def _serve_connection(conn: socket.socket, stop: threading.Event) -> None:
                 return
             except Exception as exc:
                 # The result itself would not pickle; the client still
-                # deserves an answer on this connection.
-                wire.send_frame(conn, (wire.ERROR, RemoteExecutionError(
-                    f"task result could not be shipped: {exc}")))
+                # deserves an answer on this connection.  A round reply
+                # degrades slot by slot, so one unshippable result
+                # fails one task, never its shard-mates.
+                try:
+                    if reply[0] == wire.ROUND_RESULT:
+                        wire.send_frame(conn, (wire.ROUND_RESULT,
+                                               _shippable_slots(reply[1])))
+                    else:
+                        wire.send_frame(conn, (wire.ERROR,
+                                               RemoteExecutionError(
+                            f"task result could not be shipped: {exc}")))
+                except OSError:
+                    return  # client gone mid-degradation: same as above
     finally:
         conn.close()
 
 
 def serve(port: int, host: str = "127.0.0.1", announce: bool = False,
-          stop: Optional[threading.Event] = None) -> None:
+          stop: Optional[threading.Event] = None,
+          protocol_version: int = wire.PROTOCOL_VERSION) -> None:
     """Listen on ``host:port`` and serve task connections until stopped.
 
     ``port=0`` binds an ephemeral port; ``announce=True`` prints
     ``QUAC-REMOTE-WORKER <port>`` to stdout once listening (the
     :class:`~repro.core.remote.LocalCluster` handshake).  ``stop`` is
     an optional external kill switch; a client's ``shutdown`` message
-    sets it too.
+    sets it too.  ``protocol_version=1`` clamps the worker to the
+    per-task protocol (answering ``hello`` / ``round`` like a
+    pre-round build), for version-negotiation tests and staged
+    rollouts across mixed-version clusters.
     """
+    if not 1 <= protocol_version <= wire.PROTOCOL_VERSION:
+        raise ConfigurationError(
+            f"cannot serve protocol version {protocol_version}; this "
+            f"build speaks 1..{wire.PROTOCOL_VERSION}")
     stop = stop if stop is not None else threading.Event()
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     try:
@@ -156,7 +240,8 @@ def serve(port: int, host: str = "127.0.0.1", announce: bool = False,
             except OSError:
                 break
             thread = threading.Thread(target=_serve_connection,
-                                      args=(conn, stop), daemon=True)
+                                      args=(conn, stop, protocol_version),
+                                      daemon=True)
             thread.start()
     finally:
         listener.close()
@@ -172,8 +257,14 @@ def main(argv=None) -> None:
     parser.add_argument("--announce", action="store_true",
                         help="print the bound port to stdout once "
                              "listening")
+    parser.add_argument("--protocol-version", type=int,
+                        default=wire.PROTOCOL_VERSION,
+                        choices=range(1, wire.PROTOCOL_VERSION + 1),
+                        help="clamp the served protocol (1 = per-task "
+                             "shipping only, as a pre-round build)")
     args = parser.parse_args(argv)
-    serve(args.port, host=args.host, announce=args.announce)
+    serve(args.port, host=args.host, announce=args.announce,
+          protocol_version=args.protocol_version)
 
 
 if __name__ == "__main__":

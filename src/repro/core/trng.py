@@ -315,7 +315,10 @@ class QuacTrng:
         workers pool their output into packed bytes before shipping --
         same bits, ~8x smaller result payloads.
         """
-        return self.backend.map(
+        # One batch is one planned round; run_round lets a backend
+        # that ships whole rounds (the remote round protocol) take it
+        # as one request per host.
+        return self.backend.run_round(
             run_bank_task,
             self.plan_batch(n, collect_raw,
                             pack_output=self.backend

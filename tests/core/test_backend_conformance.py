@@ -10,6 +10,11 @@ unchanged:
 * ``map(fn, tasks)`` equals ``[fn(t) for t in tasks]``, in order;
 * ``submit_map(fn, tasks).result()`` equals ``map(fn, tasks)``, in
   submission order even when tasks complete out of order;
+* ``submit_round(fn, tasks)`` carries the identical contract -- the
+  generic fallback decomposes into ``submit_map``; the remote round
+  protocol ships whole shards -- so both paths run here on every
+  backend (the ``remote-rounds`` fixture is the fast path, everything
+  else the fallback);
 * a task function's exception propagates (and the backend survives);
 * empty task lists complete immediately;
 * ``close()`` leaves outstanding ``PendingResult``\\ s joinable and the
@@ -29,8 +34,11 @@ from repro.core.parallel import (ProcessPoolBackend, SerialBackend,
                                  ThreadPoolBackend, available_backends)
 from repro.core.remote import LocalCluster, RemoteBackend
 
-#: Every registered backend, by conformance-fixture id.
-BACKEND_IDS = ["serial", "thread", "process", "remote"]
+#: Every registered backend, by conformance-fixture id.  ``remote``
+#: runs the per-task wire protocol, ``remote-rounds`` the round-shard
+#: protocol -- same registered backend, both protocol versions held to
+#: the same contract.
+BACKEND_IDS = ["serial", "thread", "process", "remote", "remote-rounds"]
 
 
 def _square(x):
@@ -66,14 +74,17 @@ def backend(request):
     elif request.param == "process":
         built = ProcessPoolBackend(2)
     else:
-        built = RemoteBackend(cluster=LocalCluster(
-            2, extra_sys_paths=[os.path.dirname(__file__)]))
+        built = RemoteBackend(
+            cluster=LocalCluster(
+                2, extra_sys_paths=[os.path.dirname(__file__)]),
+            round_execution=(request.param == "remote-rounds"))
     yield built
     built.close()
 
 
 def test_every_registered_backend_is_conformance_tested():
-    assert set(BACKEND_IDS) == set(available_backends())
+    assert {spec.split("-")[0] for spec in BACKEND_IDS} == \
+        set(available_backends())
 
 
 def test_map_matches_builtin_map(backend):
@@ -151,3 +162,65 @@ def test_backend_rebuilds_after_close(backend):
     # a closed backend transparently rebuilds its pool/cluster.
     backend.close()
     assert backend.map(_square, [2, 3]) == [4, 9]
+
+
+# ----------------------------------------------------------------------
+# submit_round: the same contract, submitted one round at a time
+# ----------------------------------------------------------------------
+
+def test_submit_round_result_equals_map(backend):
+    tasks = list(range(19))
+    pending = backend.submit_round(_square, tasks)
+    assert pending.result() == backend.map(_square, tasks)
+    assert pending.done()
+
+
+def test_run_round_matches_map(backend):
+    # The blocking capability switch the sync refill paths use: same
+    # results as map whichever protocol executes underneath.
+    tasks = list(range(9))
+    assert backend.run_round(_square, tasks) == \
+        list(map(_square, tasks))
+    assert backend.run_round(_square, []) == []
+    assert backend.run_round(_square, [3]) == [9]
+    with pytest.raises(ValueError):
+        backend.run_round(_raise_on_marker, [1, "boom"])
+
+
+def test_submit_round_ordering_under_out_of_order_completion(backend):
+    # Earlier tasks sleep longer; whether the round decomposes into
+    # per-task submissions (the generic fallback) or ships whole
+    # shards (the remote round protocol), the merged list must stay
+    # in submission order.
+    tasks = [(index, 0.05 * (4 - index) / 4) for index in range(5)]
+    assert backend.submit_round(_sleep_inverse, tasks).result() == \
+        list(range(5))
+
+
+def test_submit_round_exception_at_join(backend):
+    # One task raising must not abort the round's other tasks, and
+    # the exception surfaces at join -- sticky, like a failed future.
+    pending = backend.submit_round(_raise_on_marker, [1, "boom", 3])
+    with pytest.raises(ValueError):
+        pending.result()
+    with pytest.raises(ValueError):
+        pending.result()
+    # The backend survives a failed round.
+    assert backend.submit_round(_square, [5]).result() == [25]
+
+
+def test_submit_round_empty_round(backend):
+    pending = backend.submit_round(_square, [])
+    assert pending.done()
+    assert pending.result() == []
+
+
+def test_close_with_pending_round_keeps_result_joinable(backend):
+    # An in-flight *round shard* is submitted work like any other:
+    # close() waits for it and the handle stays joinable.
+    tasks = list(range(6))
+    pending = backend.submit_round(_slow_square, tasks)
+    backend.close()
+    assert pending.result() == [x * x for x in tasks]
+    # And the backend still rebuilds for round submissions after close.
+    assert backend.submit_round(_square, [7]).result() == [49]

@@ -1,6 +1,6 @@
 """The remote backend's wire layer and failure model.
 
-Three concerns, bottom-up:
+Four concerns, bottom-up:
 
 * **Frame codec** -- the length-prefixed protocol must round-trip any
   payload (0 bytes through multi-hundred-KiB frames), survive TCP
@@ -10,6 +10,12 @@ Three concerns, bottom-up:
   pack_output` results are the wire format of every remote round;
   randomized matrices must survive pack -> pickle -> frame -> unpickle
   -> unpack bit for bit, including degenerate shapes;
+* **Round frames + version negotiation** -- the round protocol's
+  :class:`~repro.core.remote.wire.RoundShard` and multi-result frames
+  get the same fuzz treatment (fragmentation, truncation, oversized
+  shards, malformed slot lists), and the ``hello`` handshake must
+  let a round-capable client fall back cleanly against a
+  per-task-only worker;
 * **Cluster + failure model** -- localhost workers spawn/stop/respawn,
   a killed worker's tasks requeue onto survivors, and only a fully
   dead cluster raises :class:`~repro.errors.RemoteExecutionError`.
@@ -19,6 +25,7 @@ property-tested here too: they are what keeps channels/banks grouped
 per host without ever influencing the merged stream.
 """
 
+import os
 import pickle
 import socket
 import threading
@@ -31,6 +38,7 @@ from repro.core.parallel import (BankResult, _pack_matrix,
                                  _unpack_matrix)
 from repro.core.remote import (LocalCluster, RemoteBackend, shard_map,
                                task_weights, wire)
+from repro.core.remote.worker import run_round_shard
 from repro.errors import ConfigurationError, RemoteExecutionError
 
 def _module_local_fn(x):
@@ -191,6 +199,399 @@ class TestPackedPayloadRoundTrip:
         assert len(packed) * 7 < len(unpacked)
 
 
+def _double(x):
+    return 2 * x
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _unshippable_for_one(x):
+    """A result that cannot pickle (a closure) for x == 1 only."""
+    return (lambda: x) if x == 1 else x
+
+
+class TestRoundFrames:
+    """RoundShard / multi-result frames through the same fuzz mill."""
+
+    def _random_shard(self, rng, n_tasks):
+        tasks = tuple(
+            rng.integers(0, 256, int(size), dtype=np.uint8).tobytes()
+            for size in rng.integers(0, 4000, n_tasks))
+        return wire.RoundShard(start=int(rng.integers(0, 64)),
+                               tasks=tasks)
+
+    @pytest.mark.parametrize("n_tasks", [1, 2, 7, 40])
+    def test_round_shard_frame_round_trip(self, sock_pair, n_tasks):
+        left, right = sock_pair
+        shard = self._random_shard(np.random.default_rng(n_tasks),
+                                   n_tasks)
+        sender = threading.Thread(
+            target=wire.send_frame,
+            args=(left, (wire.ROUND, _double, shard)))
+        sender.start()
+        kind, fn, shipped = wire.recv_frame(right)
+        sender.join()
+        assert kind == wire.ROUND
+        assert shipped == shard
+        assert fn(3) == 6
+
+    def test_oversized_shard_round_trips_in_one_frame(self, sock_pair):
+        # An oversized shard -- hundreds of tasks, megabytes of
+        # payload, far past any single-task frame -- must still travel
+        # as ONE frame and come back intact.
+        left, right = sock_pair
+        rng = np.random.default_rng(4242)
+        shard = wire.RoundShard(
+            start=0,
+            tasks=tuple(rng.integers(0, 256, 16384, dtype=np.uint8)
+                        .tobytes() for _ in range(300)))
+        sender = threading.Thread(target=wire.send_frame,
+                                  args=(left, (wire.ROUND, _double,
+                                               shard)))
+        sender.start()
+        kind, _fn, shipped = wire.recv_frame(right)
+        sender.join()
+        assert kind == wire.ROUND
+        assert shipped == shard
+
+    def test_multi_result_frame_round_trip(self, sock_pair):
+        # A packed multi-bank result frame: one frame, many
+        # BankResults, bit-exact after pickle + framing.
+        left, right = sock_pair
+        rng = np.random.default_rng(99)
+        matrices = [rng.integers(0, 2, (4, 512), dtype=np.uint8)
+                    for _ in range(6)]
+        slots = [(wire.SLOT_OK, BankResult(
+            digests_packed=_pack_matrix(matrix), iterations=4,
+            digest_bits=512)) for matrix in matrices]
+        sender = threading.Thread(
+            target=wire.send_frame,
+            args=(left, (wire.ROUND_RESULT, slots)))
+        sender.start()
+        kind, shipped = wire.recv_frame(right)
+        sender.join()
+        assert kind == wire.ROUND_RESULT
+        assert wire.valid_round_slots(shipped, len(matrices))
+        for (status, result), matrix in zip(shipped, matrices):
+            assert status == wire.SLOT_OK
+            np.testing.assert_array_equal(result.digest_matrix(), matrix)
+
+    def test_fragmented_round_frame_reassembles(self, sock_pair):
+        left, right = sock_pair
+        shard = wire.RoundShard(start=3, tasks=(b"alpha", b"beta"))
+        frame = wire.pack_frame(pickle.dumps((wire.ROUND, _double,
+                                              shard)))
+
+        def drip():
+            for start in range(0, len(frame), 5):
+                left.sendall(frame[start:start + 5])
+                time.sleep(0.001)
+
+        sender = threading.Thread(target=drip)
+        sender.start()
+        kind, _fn, shipped = wire.recv_frame(right)
+        sender.join()
+        assert kind == wire.ROUND
+        assert shipped == shard
+
+    def test_truncated_round_frame_raises(self, sock_pair):
+        left, right = sock_pair
+        frame = wire.pack_frame(pickle.dumps(
+            (wire.ROUND, _double,
+             wire.RoundShard(start=0, tasks=(b"x" * 1000,)))))
+        left.sendall(frame[:len(frame) // 2])
+        left.close()
+        with pytest.raises(wire.ConnectionClosed):
+            wire.recv_frame(right)
+
+    def test_run_round_shard_executes_in_order(self):
+        shard = wire.RoundShard(start=0, tasks=(1, 2, 3))
+        slots = run_round_shard(_double, shard)
+        assert slots == [(wire.SLOT_OK, 2), (wire.SLOT_OK, 4),
+                         (wire.SLOT_OK, 6)]
+        assert wire.valid_round_slots(slots, 3)
+
+    def test_run_round_shard_isolates_task_failures(self):
+        # One task raising must not abort the shard: its slot carries
+        # the exception, the later tasks still ran.
+        shard = wire.RoundShard(start=0, tasks=(1, 2, 3))
+
+        def picky(x):
+            if x == 2:
+                raise ValueError("two is right out")
+            return x
+
+        slots = run_round_shard(picky, shard)
+        assert [status for status, _ in slots] == \
+            [wire.SLOT_OK, wire.SLOT_ERROR, wire.SLOT_OK]
+        assert isinstance(slots[1][1], ValueError)
+        assert slots[2][1] == 3
+
+    def test_valid_round_slots_rejects_malformed_bodies(self):
+        ok = [(wire.SLOT_OK, 1), (wire.SLOT_ERROR, ValueError("x"))]
+        assert wire.valid_round_slots(ok, 2)
+        # Wrong count, wrong shapes, wrong markers, wrong container.
+        assert not wire.valid_round_slots(ok, 3)
+        assert not wire.valid_round_slots(ok[:1], 2)
+        assert not wire.valid_round_slots([(wire.SLOT_OK,)], 1)
+        assert not wire.valid_round_slots([("nope", 1)], 1)
+        assert not wire.valid_round_slots([[wire.SLOT_OK, 1]], 1)
+        assert not wire.valid_round_slots("slots", 5)
+        assert not wire.valid_round_slots(None, 0)
+        # Fuzzed garbage shapes never validate.
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            n = int(rng.integers(0, 6))
+            body = [tuple(rng.integers(0, 9, int(rng.integers(0, 4))))
+                    for _ in range(n)]
+            assert not wire.valid_round_slots(body, n) or n == 0 \
+                and body == []
+
+
+class _ScriptedWorker:
+    """A fake worker thread speaking whatever protocol the test wants.
+
+    ``handler(conn)`` is invoked once per accepted connection with the
+    raw socket; helpers below implement the per-task-only (version 1)
+    behaviour and deliberately corrupt round replies.
+    """
+
+    def __init__(self, handler):
+        self.listener = socket.socket()
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen()
+        self.address = self.listener.getsockname()
+        self._handler = handler
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self.listener.accept()
+        except OSError:
+            return
+        try:
+            self._handler(conn)
+        finally:
+            conn.close()
+
+    def close(self):
+        self.listener.close()
+        self._thread.join(timeout=5)
+
+
+class TestVersionNegotiation:
+    def test_round_backend_negotiates_version_2(self):
+        backend = RemoteBackend(cluster=LocalCluster(1),
+                                round_execution=True)
+        try:
+            assert backend.submit_round(abs, [-1, -2]).result() == [1, 2]
+            assert backend._links[0].protocol == wire.PROTOCOL_VERSION
+        finally:
+            backend.close()
+
+    def test_round_client_falls_back_against_per_task_worker(self):
+        # The protocol-version-mismatch handshake: a round-capable
+        # client against a worker clamped to the per-task protocol
+        # (exactly a pre-round build: hello/round answered as unknown
+        # message kinds) must degrade to task shipping on the same
+        # healthy connection -- right results, live link, one round
+        # trip per task instead of one per shard.
+        backend = RemoteBackend(
+            cluster=LocalCluster(1,
+                                 worker_args=["--protocol-version", "1"]),
+            round_execution=True)
+        try:
+            before = backend.request_count()
+            assert backend.submit_round(abs, [-1, -2, -3]).result() == \
+                [1, 2, 3]
+            link = backend._links[0]
+            assert link.protocol == 1
+            assert not link.dead
+            # 1 hello + 3 per-task trips; a round shard would be 2.
+            assert backend.request_count() - before == 4
+            # The verdict is cached: the next round skips the
+            # handshake and goes straight to per-task shipping.
+            before = backend.request_count()
+            assert backend.submit_round(abs, [-5, -6]).result() == [5, 6]
+            assert backend.request_count() - before == 2
+        finally:
+            backend.close()
+
+    def test_round_protocol_spends_one_trip_per_host(self):
+        backend = RemoteBackend(cluster=LocalCluster(1),
+                                round_execution=True)
+        try:
+            backend.submit_round(abs, [-9]).result()   # connect + hello
+            before = backend.request_count()
+            assert backend.submit_round(abs, list(range(-8, 0))) \
+                .result() == list(range(8, 0, -1))
+            assert backend.request_count() - before == 1
+        finally:
+            backend.close()
+
+    def test_per_task_protocol_needs_no_handshake(self):
+        # round_execution=False must stay wire-identical to PR 4: no
+        # hello, one trip per task, protocol never negotiated.
+        backend = RemoteBackend(cluster=LocalCluster(1))
+        try:
+            assert backend.map(abs, [-1, -2]) == [1, 2]
+            link = backend._links[0]
+            assert link.protocol is None
+            assert link.requests == 2
+        finally:
+            backend.close()
+
+    def test_malformed_hello_reply_marks_worker_dead(self):
+        # A peer answering the handshake with garbage (a hello whose
+        # version is not a number) has violated the protocol: dead
+        # link, loud failure -- never a TypeError deep in a dispatch,
+        # never a live link with a poisoned verdict.
+        def handler(conn):
+            wire.recv_frame(conn)                   # hello
+            wire.send_frame(conn, (wire.HELLO, "newest"))
+
+        worker = _ScriptedWorker(handler)
+        backend = RemoteBackend(addresses=[worker.address],
+                                round_execution=True)
+        try:
+            with pytest.raises(RemoteExecutionError):
+                backend.submit_round(abs, [-1, -2]).result()
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            worker.close()
+
+    def test_malformed_round_result_marks_worker_dead(self):
+        # A "worker" that claims version 2 but answers a round with a
+        # wrong-arity slot list has desynchronized the conversation:
+        # dead link, loud failure, no retry spin.
+        def handler(conn):
+            kind, *_ = wire.recv_frame(conn)        # hello
+            assert kind == wire.HELLO
+            wire.send_frame(conn, (wire.HELLO, wire.PROTOCOL_VERSION))
+            wire.recv_frame(conn)                   # the round
+            wire.send_frame(conn, (wire.ROUND_RESULT,
+                                   [(wire.SLOT_OK, 1)]))  # arity 1 != 3
+
+        worker = _ScriptedWorker(handler)
+        backend = RemoteBackend(addresses=[worker.address],
+                                round_execution=True)
+        try:
+            with pytest.raises(RemoteExecutionError):
+                backend.submit_round(abs, [-1, -2, -3]).result()
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            worker.close()
+
+    def test_bare_tuple_round_reply_marks_worker_dead(self):
+        # A reply that is a bare kind marker (or any shape the client
+        # would have to index blindly) is a protocol violation: dead
+        # link and a loud RemoteExecutionError, never an IndexError
+        # recorded against the tasks.
+        def handler(conn):
+            wire.recv_frame(conn)                   # hello
+            wire.send_frame(conn, (wire.HELLO, wire.PROTOCOL_VERSION))
+            wire.recv_frame(conn)                   # the round
+            wire.send_frame(conn, (wire.ROUND_RESULT,))
+
+        worker = _ScriptedWorker(handler)
+        backend = RemoteBackend(addresses=[worker.address],
+                                round_execution=True)
+        try:
+            with pytest.raises(RemoteExecutionError):
+                backend.submit_round(abs, [-1, -2]).result()
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            worker.close()
+
+    def test_absurd_round_reply_header_marks_worker_dead(self):
+        # The round-protocol twin of the absurd-header codec test: a
+        # corrupt length prefix in a round reply kills the link.
+        def handler(conn):
+            wire.recv_frame(conn)                   # hello
+            wire.send_frame(conn, (wire.HELLO, wire.PROTOCOL_VERSION))
+            wire.recv_frame(conn)                   # the round
+            conn.sendall(wire.HEADER.pack(wire.MAX_FRAME_BYTES + 1))
+
+        worker = _ScriptedWorker(handler)
+        backend = RemoteBackend(addresses=[worker.address],
+                                round_execution=True)
+        try:
+            with pytest.raises(RemoteExecutionError):
+                backend.submit_round(abs, [-1, -2]).result()
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            worker.close()
+
+    def test_worker_dying_mid_round_reply_parks_the_shard(self):
+        # Truncation fuzz against the live dispatch: the peer sends
+        # half a round reply and vanishes.  With no survivors the
+        # dispatch must fail loudly (never hang, never half-fill).
+        def handler(conn):
+            wire.recv_frame(conn)                   # hello
+            wire.send_frame(conn, (wire.HELLO, wire.PROTOCOL_VERSION))
+            wire.recv_frame(conn)                   # the round
+            frame = wire.pack_frame(pickle.dumps(
+                (wire.ROUND_RESULT, [(wire.SLOT_OK, 1)] * 3)))
+            conn.sendall(frame[:len(frame) // 2])   # ...and die
+
+        worker = _ScriptedWorker(handler)
+        backend = RemoteBackend(addresses=[worker.address],
+                                round_execution=True)
+        try:
+            with pytest.raises(RemoteExecutionError):
+                backend.submit_round(abs, [-1, -2, -3]).result()
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            worker.close()
+
+    def test_shard_task_exception_lands_on_its_slot(self):
+        # Through a real worker: one failing task in a round shard
+        # re-raises at join, and the backend survives.
+        backend = RemoteBackend(
+            cluster=LocalCluster(
+                1, extra_sys_paths=[os.path.dirname(__file__)]),
+            round_execution=True)
+        try:
+            pending = backend.submit_round(_boom, [1])
+            with pytest.raises(ValueError, match="boom on 1"):
+                pending.result()
+            assert not backend._links[0].dead
+            assert backend.submit_round(abs, [-4]).result() == [4]
+        finally:
+            backend.close()
+
+    def test_unshippable_result_fails_its_slot_not_the_shard(self):
+        # One task's result refusing to pickle must fail that task
+        # alone -- its shard-mates' results still ship, exactly as
+        # per-task shipping would have it.
+        backend = RemoteBackend(
+            cluster=LocalCluster(
+                1, extra_sys_paths=[os.path.dirname(__file__)]),
+            round_execution=True)
+        try:
+            pending = backend.submit_round(_unshippable_for_one,
+                                           [0, 1, 2])
+            with pytest.raises(RemoteExecutionError,
+                               match="could not be shipped"):
+                pending.result()
+            # The good slots landed; only task 1's slot raises.
+            assert pending._slots[0] == ("ok", 0)
+            assert pending._slots[2] == ("ok", 2)
+            assert pending._slots[1][0] == "raise"
+            assert not backend._links[0].dead
+            assert backend.submit_round(abs, [-4]).result() == [4]
+        finally:
+            backend.close()
+
+
 class TestShardMap:
     def test_fuzzed_invariants(self):
         rng = np.random.default_rng(20210625)
@@ -346,6 +747,32 @@ class TestClusterAndFailureModel:
             conn, _ = listener.accept()
             wire.recv_frame(conn)          # swallow the ping message
             conn.sendall(wire.HEADER.pack(wire.MAX_FRAME_BYTES + 1))
+            conn.close()
+
+        server = threading.Thread(target=bad_worker, daemon=True)
+        server.start()
+        backend = RemoteBackend(addresses=[address])
+        try:
+            assert backend.ping() == [False]
+            assert backend._links[0].dead
+        finally:
+            backend.close()
+            listener.close()
+            server.join(timeout=5)
+
+    def test_ping_answered_with_wrong_kind_marks_link_dead(self):
+        # A well-formed but non-pong reply to a ping is a
+        # desynchronized stream, same as a corrupt frame: the link
+        # must go dead, not stay schedulable for the next round.
+        listener = socket.socket()
+        listener.bind(("127.0.0.1", 0))
+        listener.listen()
+        address = listener.getsockname()
+
+        def bad_worker():
+            conn, _ = listener.accept()
+            wire.recv_frame(conn)          # swallow the ping message
+            wire.send_frame(conn, (wire.RESULT, 42))   # stale reply
             conn.close()
 
         server = threading.Thread(target=bad_worker, daemon=True)

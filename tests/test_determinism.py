@@ -55,10 +55,13 @@ SYSTEM_SECOND_DRAW_PREFIX = \
     "1011000011100010110001010011001110010111101110011010001001100011"
 
 #: Backends the goldens are replayed on (bit-identical by contract).
-#: The remote entries -- one-host and three-host localhost clusters --
-#: pin the sharded multi-host contract: the merged stream must equal
-#: the serial reference whatever the host count.
-BACKEND_IDS = ["serial", "thread", "process", "remote1", "remote3"]
+#: The remote entries -- one-host and three-host localhost clusters,
+#: each under the per-task wire protocol and the round-shard protocol
+#: (the ``r`` suffix) -- pin the sharded multi-host contract: the
+#: merged stream must equal the serial reference whatever the host
+#: count and whichever protocol version shipped the tasks.
+BACKEND_IDS = ["serial", "thread", "process", "remote1", "remote3",
+               "remote1r", "remote3r"]
 
 
 @pytest.fixture(scope="module", params=BACKEND_IDS)
@@ -75,7 +78,8 @@ def golden_backend(request):
         backend = ProcessPoolBackend(2)
     else:
         backend = RemoteBackend(
-            cluster=LocalCluster(int(request.param[-1])))
+            cluster=LocalCluster(int(request.param[6])),
+            round_execution=request.param.endswith("r"))
     with backend:
         yield backend
 
